@@ -1,0 +1,345 @@
+package yieldcache
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablation benches for the design choices called out in DESIGN.md.
+// Each benchmark regenerates its experiment's data; run with
+//
+//	go test -bench=. -benchmem
+//
+// The shared study/evaluator are built once (paper-scale population,
+// reduced instruction counts so a full -bench=. pass stays minutes, not
+// hours) and the per-iteration work is the experiment's analysis step.
+
+import (
+	"sync"
+	"testing"
+
+	"yieldcache/internal/core"
+	"yieldcache/internal/cpu"
+	"yieldcache/internal/variation"
+	"yieldcache/internal/workload"
+)
+
+var benchState struct {
+	once  sync.Once
+	study *Study
+	perf  *PerfEvaluator
+}
+
+func benchSetup(b *testing.B) (*Study, *PerfEvaluator) {
+	b.Helper()
+	benchState.once.Do(func() {
+		benchState.study = NewStudy(StudyConfig{Chips: 2000, Seed: 2006})
+		benchState.perf = NewPerfEvaluator(PerfConfig{Instructions: 150_000})
+	})
+	return benchState.study, benchState.perf
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s, _ := benchSetup(b)
+	var bd LossBreakdown
+	for i := 0; i < b.N; i++ {
+		bd = s.Table2()
+	}
+	b.ReportMetric(float64(bd.BaseTotal), "base-losses")
+	b.ReportMetric(float64(bd.Schemes[0].Total), "YAPD-losses")
+	b.ReportMetric(float64(bd.Schemes[1].Total), "VACA-losses")
+	b.ReportMetric(float64(bd.Schemes[2].Total), "Hybrid-losses")
+	b.ReportMetric(bd.Yield(2)*100, "Hybrid-yield-%")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s, _ := benchSetup(b)
+	var bd LossBreakdown
+	for i := 0; i < b.N; i++ {
+		bd = s.Table3()
+	}
+	b.ReportMetric(float64(bd.BaseTotal), "base-losses")
+	b.ReportMetric(float64(bd.Schemes[0].Total), "HYAPD-losses")
+	b.ReportMetric(float64(bd.Schemes[2].Total), "HybridH-losses")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s, _ := benchSetup(b)
+	var rows []ConstraintTotals
+	for i := 0; i < b.N; i++ {
+		rows = s.Table4()
+	}
+	b.ReportMetric(float64(rows[0].Base), "relaxed-base")
+	b.ReportMetric(float64(rows[1].Base), "strict-base")
+	b.ReportMetric(float64(rows[0].Schemes[2].Total), "relaxed-hybrid")
+	b.ReportMetric(float64(rows[1].Schemes[2].Total), "strict-hybrid")
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s, _ := benchSetup(b)
+	var rows []ConstraintTotals
+	for i := 0; i < b.N; i++ {
+		rows = s.Table5()
+	}
+	b.ReportMetric(float64(rows[0].Base), "relaxed-base")
+	b.ReportMetric(float64(rows[1].Base), "strict-base")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s, e := benchSetup(b)
+	var t6 Table6
+	for i := 0; i < b.N; i++ {
+		t6 = s.Table6(e)
+	}
+	b.ReportMetric(t6.YAPDSum, "YAPD-wsum-%")
+	b.ReportMetric(t6.VACASum, "VACA-wsum-%")
+	b.ReportMetric(t6.HybridSum, "Hybrid-wsum-%")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s, _ := benchSetup(b)
+	var pts []ScatterPoint
+	for i := 0; i < b.N; i++ {
+		pts = s.Figure8()
+	}
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	_, e := benchSetup(b)
+	var f FigureSeries
+	for i := 0; i < b.N; i++ {
+		f = e.Figure9()
+	}
+	yapd, vaca := 0.0, 0.0
+	for i := range f.Series["YAPD"] {
+		yapd += f.Series["YAPD"][i]
+		vaca += f.Series["VACA"][i]
+	}
+	b.ReportMetric(yapd/24, "YAPD-avg-%")
+	b.ReportMetric(vaca/24, "VACA-avg-%")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	_, e := benchSetup(b)
+	var f FigureSeries
+	for i := 0; i < b.N; i++ {
+		f = e.Figure10()
+	}
+	sum := 0.0
+	for _, v := range f.Series["VACA"] {
+		sum += v
+	}
+	b.ReportMetric(sum/24, "VACA-avg-%")
+}
+
+func BenchmarkNaiveBinning(b *testing.B) {
+	_, e := benchSetup(b)
+	var p1, p2 float64
+	for i := 0; i < b.N; i++ {
+		p1, p2 = e.NaiveBinning()
+	}
+	b.ReportMetric(p1, "plus1-%")
+	b.ReportMetric(p2, "plus2-%")
+}
+
+// BenchmarkHYAPDLatency verifies the Section 4.2 claim in circuit form:
+// the H-YAPD decoder organisation costs 2.5% average access latency.
+func BenchmarkHYAPDLatency(b *testing.B) {
+	s, _ := benchSetup(b)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var reg, hor float64
+		for j := range s.Regular.Chips {
+			reg += s.Regular.Chips[j].Meas.LatencyPS
+			hor += s.Horizontal.Chips[j].Meas.LatencyPS
+		}
+		ratio = hor / reg
+	}
+	b.ReportMetric((ratio-1)*100, "latency-overhead-%")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationCorrelation sweeps the inter-way correlation factors:
+// weaker spatial correlation (larger factors) moves loss mass from
+// multi-way violations to single-way ones, which is the regime where
+// plain YAPD already suffices — the argument for H-YAPD rests on strong
+// correlation.
+func BenchmarkAblationCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []float64{0.5, 1.0, 2.0} {
+			f := variation.PaperFactors()
+			f.VerticalWay *= scale
+			f.HorizWay *= scale
+			f.DiagWay *= scale
+			if f.DiagWay > 1 {
+				f.DiagWay = 1
+			}
+			pop := core.BuildPopulation(core.PopulationConfig{N: 500, Seed: 2006, Fact: &f})
+			lim := core.DeriveLimits(pop, core.Nominal())
+			bd := core.BreakdownLosses(pop, lim, core.YAPD{})
+			multi := bd.Base[core.LossDelay2] + bd.Base[core.LossDelay3] + bd.Base[core.LossDelay4]
+			b.ReportMetric(float64(multi), "multiway@"+scaleName(scale))
+		}
+	}
+}
+
+func scaleName(s float64) string {
+	switch s {
+	case 0.5:
+		return "0.5x"
+	case 1.0:
+		return "1x"
+	default:
+		return "2x"
+	}
+}
+
+// BenchmarkAblationBufferDepth prices the paper's rejected extension:
+// 2-entry load-bypass buffers (supporting 6-cycle ways) against the
+// single-entry design, on a cache with one 6-cycle way.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	p, _ := workload.ByName("gcc")
+	for i := 0; i < b.N; i++ {
+		cfg1 := cpu.DefaultConfig().WithL1D([]int{6, 4, 4, 4}, -1, 4)
+		cfg2 := cfg1
+		cfg2.BypassEntries = 2
+		base := cpu.Run(workload.NewGenerator(p, 1), 150_000, cpu.DefaultConfig())
+		r1 := cpu.Run(workload.NewGenerator(p, 1), 150_000, cfg1)
+		r2 := cpu.Run(workload.NewGenerator(p, 1), 150_000, cfg2)
+		b.ReportMetric((r1.CPI/base.CPI-1)*100, "depth1-dCPI-%")
+		b.ReportMetric((r2.CPI/base.CPI-1)*100, "depth2-dCPI-%")
+	}
+}
+
+// BenchmarkAblationPopulation sweeps the Monte Carlo population size:
+// the yield estimate converges well before the paper's 2000 chips.
+func BenchmarkAblationPopulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{250, 1000, 2000} {
+			pop := core.BuildPopulation(core.PopulationConfig{N: n, Seed: 2006})
+			lim := core.DeriveLimits(pop, core.Nominal())
+			bd := core.BreakdownLosses(pop, lim, core.Hybrid{})
+			b.ReportMetric(bd.Yield(0)*100, "hybrid-yield@"+popName(n))
+		}
+	}
+}
+
+func popName(n int) string {
+	switch n {
+	case 250:
+		return "250"
+	case 1000:
+		return "1000"
+	default:
+		return "2000"
+	}
+}
+
+// BenchmarkAblationPrefetch asks whether a next-line prefetcher (not in
+// the paper's machine) changes the picture: it cuts the stream-miss
+// baseline, which *raises* the relative cost of VACA's slow hits — the
+// schemes matter more, not less, on a prefetching core.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	p, _ := workload.ByName("swim")
+	for i := 0; i < b.N; i++ {
+		plain := cpu.DefaultConfig()
+		pf := plain
+		pf.NextLinePrefetch = true
+		pfSlow := pf.WithL1D([]int{5, 4, 4, 4}, -1, 4)
+		slow := plain.WithL1D([]int{5, 4, 4, 4}, -1, 4)
+
+		base := cpu.Run(workload.NewGenerator(p, 1), 150_000, plain)
+		baseP := cpu.Run(workload.NewGenerator(p, 1), 150_000, pf)
+		d := cpu.Run(workload.NewGenerator(p, 1), 150_000, slow)
+		dP := cpu.Run(workload.NewGenerator(p, 1), 150_000, pfSlow)
+		b.ReportMetric((d.CPI/base.CPI-1)*100, "vaca-dCPI-noPF-%")
+		b.ReportMetric((dP.CPI/baseP.CPI-1)*100, "vaca-dCPI-PF-%")
+		b.ReportMetric(base.CPI/baseP.CPI, "PF-speedup")
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the 5-cycle binning threshold: the
+// paper bins a way at 5 cycles when its latency fits 5/4 of the delay
+// limit. A pessimistic (tighter) threshold pushes ways into the
+// 6+-cycle bin, growing VACA's losses.
+func BenchmarkAblationThreshold(b *testing.B) {
+	s, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []float64{0.95, 1.0, 1.05} {
+			lim := s.Limits
+			lim.DelayPS *= scale
+			bd := core.BreakdownLosses(s.Regular, lim, core.VACA{})
+			b.ReportMetric(float64(bd.Schemes[0].Total), "VACA-losses@"+thName(scale))
+		}
+	}
+}
+
+func thName(s float64) string {
+	switch {
+	case s < 1:
+		return "tight"
+	case s > 1:
+		return "loose"
+	default:
+		return "paper"
+	}
+}
+
+// BenchmarkAblationAdaptiveHybrid compares the fixed Hybrid against the
+// adaptive policy (Section 4.4's discussion) on the yield side: both
+// save the same chips, so the difference is purely in shipped
+// configurations — reported as the fraction of saved chips whose
+// configuration changed for a compute-bound workload.
+func BenchmarkAblationAdaptiveHybrid(b *testing.B) {
+	s, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		changed, saved := 0, 0
+		a := core.AdaptiveHybrid{MemoryIntensity: 0.1}
+		for _, chip := range s.Regular.Chips {
+			if core.Classify(chip.Meas, s.Limits) == core.LossNone {
+				continue
+			}
+			h := core.Hybrid{}.Apply(chip.Meas, s.Limits)
+			if !h.Saved {
+				continue
+			}
+			saved++
+			if g := a.Apply(chip.Meas, s.Limits); g.DisabledWay != h.DisabledWay {
+				changed++
+			}
+		}
+		b.ReportMetric(float64(saved), "saved")
+		b.ReportMetric(float64(changed), "reconfigured")
+	}
+}
+
+// BenchmarkPopulationBuild measures the Monte Carlo throughput itself
+// (chips evaluated per second drives every other experiment).
+func BenchmarkPopulationBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.BuildPopulation(core.PopulationConfig{N: 200, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkCPUSim measures the cycle-model throughput on one benchmark.
+func BenchmarkCPUSim(b *testing.B) {
+	p, _ := workload.ByName("gzip")
+	cfg := cpu.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Run(workload.NewGenerator(p, 1), 100_000, cfg)
+	}
+	b.ReportMetric(100_000, "instructions/op")
+}
+
+// BenchmarkCPUSimDetailed measures the event-driven core's throughput
+// and reports its agreement with the fast model on the same run.
+func BenchmarkCPUSimDetailed(b *testing.B) {
+	p, _ := workload.ByName("gzip")
+	cfg := cpu.DefaultConfig()
+	fast := cpu.Run(workload.NewGenerator(p, 1), 100_000, cfg)
+	b.ResetTimer()
+	var det cpu.Result
+	for i := 0; i < b.N; i++ {
+		det = cpu.RunDetailed(workload.NewGenerator(p, 1), 100_000, cfg)
+	}
+	b.ReportMetric(det.CPI/fast.CPI, "detailed/fast-CPI")
+}

@@ -1,0 +1,92 @@
+// Command yieldsim runs the Monte Carlo yield study on its own (no CPU
+// simulation): it builds the chip population, derives the limits, prints
+// the loss breakdowns for both cache organisations and the Figure 8
+// scatter, and can emit the raw population as CSV for external tooling.
+//
+// Usage:
+//
+//	yieldsim [-chips N] [-seed S] [-constraints nominal|relaxed|strict] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yieldcache"
+	"yieldcache/internal/report"
+)
+
+func main() {
+	chips := flag.Int("chips", 2000, "Monte Carlo population size")
+	seed := flag.Int64("seed", 2006, "master seed")
+	consName := flag.String("constraints", "nominal", "yield constraints: nominal, relaxed or strict")
+	csv := flag.Bool("csv", false, "emit the population (latency, leakage, classification) as CSV and exit")
+	save := flag.String("save", "", "write the regular population to this file (gob) after building")
+	flag.Parse()
+
+	var cons yieldcache.Constraints
+	switch *consName {
+	case "nominal":
+		cons = yieldcache.Nominal()
+	case "relaxed":
+		cons = yieldcache.Relaxed()
+	case "strict":
+		cons = yieldcache.Strict()
+	default:
+		fmt.Fprintf(os.Stderr, "yieldsim: unknown constraint set %q\n", *consName)
+		os.Exit(2)
+	}
+
+	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: *chips, Seed: *seed, Constraints: &cons})
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := study.SavePopulation(f); err != nil {
+			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "population written to %s\n", *save)
+	}
+
+	if *csv {
+		t := report.NewTable("", "chip", "latency_ps", "normalized_leakage", "classification")
+		for i, p := range study.Figure8() {
+			t.AddRow(i, fmt.Sprintf("%.2f", p.LatencyPS),
+				fmt.Sprintf("%.4f", p.NormalizedLeakage), p.Reason.String())
+		}
+		fmt.Print(t.CSV())
+		return
+	}
+
+	fmt.Printf("constraints: %s (delay mean+%.1f sigma, leakage %.0fx average)\n",
+		cons.Name, cons.DelaySigmaK, cons.LeakageMult)
+	fmt.Printf("limits: delay %.1f ps, leakage %.2f mW\n\n",
+		study.Limits.DelayPS, study.Limits.LeakageW*1e3)
+
+	bd := study.Table2()
+	fmt.Println(yieldcache.RenderBreakdown("Loss breakdown, regular power-down", bd))
+	fmt.Printf("base yield %.1f%%", bd.Yield(-1)*100)
+	for i, s := range bd.Schemes {
+		fmt.Printf("; %s %.1f%%", s.Scheme, bd.Yield(i)*100)
+	}
+	fmt.Print("\n\n")
+
+	bd3 := study.Table3()
+	fmt.Println(yieldcache.RenderBreakdown("Loss breakdown, horizontal power-down", bd3))
+	fmt.Printf("base yield %.1f%%", bd3.Yield(-1)*100)
+	for i, s := range bd3.Schemes {
+		fmt.Printf("; %s %.1f%%", s.Scheme, bd3.Yield(i)*100)
+	}
+	fmt.Print("\n\n")
+
+	fmt.Println(yieldcache.RenderFigure8(study.Figure8(), 72, 24))
+}

@@ -1,0 +1,33 @@
+// Package yieldcache reproduces "Yield-Aware Cache Architectures"
+// (Ozdemir, Sinha, Memik, Adams, Zhou — MICRO 2006): parametric-yield
+// analysis of an L1 data cache under process variation, four
+// yield-aware microarchitecture schemes (YAPD, H-YAPD, VACA, Hybrid),
+// and the performance evaluation of the saved chips on an out-of-order
+// processor model.
+//
+// The package is a facade over the internal substrates:
+//
+//   - internal/variation — Table 1 process parameters and the spatial
+//     correlation-factor sampling of Section 3;
+//   - internal/circuit — analytical device/interconnect models standing
+//     in for HSPICE + 45 nm PTM;
+//   - internal/sram — the 16 KB 4-way cache (4 banks/way, 64x128-bit
+//     banks, split bitlines) evaluated into per-way latency and leakage;
+//   - internal/core — yield constraints, loss classification and the
+//     schemes themselves;
+//   - internal/cpu — the 4-wide out-of-order core with load-bypass
+//     buffers and selective replay (the SimpleScalar substitute);
+//   - internal/workload — 24 synthetic SPEC2000 benchmark models.
+//
+// Typical use:
+//
+//	study := yieldcache.NewStudy(yieldcache.StudyConfig{})
+//	t2 := study.Table2()                    // loss breakdown, regular cache
+//	fmt.Println(yieldcache.RenderBreakdown("Table 2", t2))
+//	perf := yieldcache.NewPerfEvaluator(yieldcache.PerfConfig{})
+//	t6 := study.Table6(perf)                // CPI cost of saved chips
+//
+// Every experiment of the paper's evaluation (Tables 2-6, Figures 8-10,
+// and the Section 4.5 naive-binning numbers) has a driver method here
+// and a benchmark in bench_test.go; cmd/paper regenerates all of them.
+package yieldcache

@@ -1,0 +1,60 @@
+package yieldcache_test
+
+import (
+	"fmt"
+
+	"yieldcache"
+)
+
+// The basic flow: build a population, classify losses, apply a scheme.
+func Example() {
+	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: 500, Seed: 2006})
+	bd := study.Table2()
+	fmt.Printf("chips: %d\n", bd.N)
+	fmt.Printf("base losses exceed scheme losses: %v\n", bd.BaseTotal > bd.Schemes[2].Total)
+	fmt.Printf("YAPD zeroes 1-way delay losses: %v\n",
+		bd.Schemes[0].ByReason[yieldcache.LossDelayWays(1)] == 0)
+	// Output:
+	// chips: 500
+	// base losses exceed scheme losses: true
+	// YAPD zeroes 1-way delay losses: true
+}
+
+// Constraint sets reproduce the paper's relaxed and strict analyses.
+func ExampleConstraints() {
+	n := yieldcache.Nominal()
+	r := yieldcache.Relaxed()
+	s := yieldcache.Strict()
+	fmt.Printf("%s: mean+%.1f sigma, %gx leakage\n", n.Name, n.DelaySigmaK, n.LeakageMult)
+	fmt.Printf("%s: mean+%.1f sigma, %gx leakage\n", r.Name, r.DelaySigmaK, r.LeakageMult)
+	fmt.Printf("%s: mean+%.1f sigma, %gx leakage\n", s.Name, s.DelaySigmaK, s.LeakageMult)
+	// Output:
+	// nominal: mean+1.0 sigma, 3x leakage
+	// relaxed: mean+1.5 sigma, 4x leakage
+	// strict: mean+0.5 sigma, 2x leakage
+}
+
+// Schemes can be applied chip by chip for custom analyses.
+func ExampleScheme() {
+	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: 200, Seed: 2006})
+	hybrid := yieldcache.SchemeHybrid(false)
+	saved := 0
+	for _, chip := range study.Regular.Chips {
+		if hybrid.Apply(chip.Meas, study.Limits).Saved {
+			saved++
+		}
+	}
+	fmt.Printf("hybrid sells most of the 200 chips: %v\n", saved > 180)
+	// Output:
+	// hybrid sells most of the 200 chips: true
+}
+
+// The cost model prices degraded parts on a performance-indexed curve.
+func ExampleCostModel() {
+	m := yieldcache.DefaultCostModel()
+	fmt.Printf("full-spec: $%.2f\n", m.UnitPrice(0))
+	fmt.Printf("2%% slower: $%.2f\n", m.UnitPrice(2))
+	// Output:
+	// full-spec: $60.00
+	// 2% slower: $56.40
+}

@@ -1,0 +1,48 @@
+// Economics: the paper's motivation in dollars. Every discarded chip
+// raises the cost of the survivors; this example prices the base case
+// and each yield-aware scheme on a 45 nm wafer model where degraded
+// parts sell at a performance-indexed discount, and shows how tester
+// measurement error eats into the gain (test escapes ship bad parts,
+// overkill discards good ones).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yieldcache"
+	"yieldcache/internal/report"
+)
+
+func main() {
+	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: 1000})
+	perf := yieldcache.NewPerfEvaluator(yieldcache.PerfConfig{Instructions: 100_000})
+	model := yieldcache.DefaultCostModel()
+
+	rows, err := study.Economics(perf, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(yieldcache.RenderEconomics(rows))
+	base, hybrid := rows[0], rows[3]
+	fmt.Printf("The Hybrid scheme is worth $%.0f per wafer (+%.1f%%) and cuts the\n",
+		hybrid.RevenuePerWafer-base.RevenuePerWafer,
+		(hybrid.RevenuePerWafer/base.RevenuePerWafer-1)*100)
+	fmt.Printf("effective die cost from $%.2f to $%.2f.\n\n", base.CostPerDie, hybrid.CostPerDie)
+
+	// How good does the tester have to be? Sweep measurement error.
+	t := report.NewTable("Hybrid shipping decisions under tester noise (1000 chips)",
+		"latency err", "leakage err", "shipped", "escapes", "overkill")
+	for _, sigma := range []struct{ lat, leak float64 }{
+		{0.00, 0.00}, {0.01, 0.03}, {0.02, 0.08}, {0.05, 0.15}, {0.10, 0.30},
+	} {
+		out := study.MeasurementStudy(yieldcache.SchemeHybrid(false), yieldcache.MeasurementModel{
+			LatencySigma: sigma.lat, LeakageSigma: sigma.leak, Seed: 7,
+		})
+		t.AddRow(fmt.Sprintf("%.0f%%", sigma.lat*100), fmt.Sprintf("%.0f%%", sigma.leak*100),
+			out.Shipped, out.Escapes, out.Overkill)
+	}
+	fmt.Println(t.String())
+	fmt.Println("Escapes are parts shipped in a configuration their true parameters")
+	fmt.Println("violate; overkill is yield left on the table by a noisy tester.")
+}

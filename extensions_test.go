@@ -1,0 +1,109 @@
+package yieldcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEconomicsOrdering(t *testing.T) {
+	study := NewStudy(StudyConfig{Chips: 400, Seed: 2006})
+	perf := smallPerf()
+	rows, err := study.Economics(perf, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, yapd, vaca, hybrid := rows[0], rows[1], rows[2], rows[3]
+	if base.Scheme != "Base" || hybrid.Scheme != "Hybrid" {
+		t.Fatal("row order wrong")
+	}
+	// Every scheme beats the base in revenue and cost per die; the
+	// Hybrid sells the most dies.
+	for _, r := range []EconResult{yapd, vaca, hybrid} {
+		if r.RevenuePerWafer <= base.RevenuePerWafer {
+			t.Errorf("%s revenue (%v) does not beat base (%v)", r.Scheme, r.RevenuePerWafer, base.RevenuePerWafer)
+		}
+		if r.CostPerDie >= base.CostPerDie {
+			t.Errorf("%s cost/die (%v) does not beat base (%v)", r.Scheme, r.CostPerDie, base.CostPerDie)
+		}
+	}
+	if !(hybrid.DiesPerWafer >= yapd.DiesPerWafer && hybrid.DiesPerWafer >= vaca.DiesPerWafer) {
+		t.Error("Hybrid should sell the most dies")
+	}
+	out := RenderEconomics(rows)
+	if !strings.Contains(out, "cost/die") {
+		t.Error("economics rendering incomplete")
+	}
+}
+
+func TestMeasurementStudyFacade(t *testing.T) {
+	study := NewStudy(StudyConfig{Chips: 300, Seed: 2006})
+	perfect := study.MeasurementStudy(SchemeHybrid(false), MeasurementModel{Seed: 1})
+	if perfect.Escapes != 0 || perfect.Overkill != 0 {
+		t.Errorf("perfect tester misdecided: %+v", perfect)
+	}
+	noisy := study.MeasurementStudy(SchemeHybrid(false), MeasurementModel{
+		LatencySigma: 0.08, LeakageSigma: 0.25, Seed: 1,
+	})
+	if noisy.Escapes+noisy.Overkill == 0 {
+		t.Error("harsh noise should cause some misdecisions")
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	study := NewStudy(StudyConfig{Chips: 100, Seed: 2006})
+	schemes := []Scheme{
+		SchemeBase(), SchemeYAPD(), SchemeHYAPD(), SchemeVACA(),
+		SchemeHybrid(false), SchemeHybrid(true),
+		SchemeNaiveBinning(5), SchemeLineDisable(0.25),
+		AdaptiveHybrid{MemoryIntensity: 0.3},
+	}
+	for _, s := range schemes {
+		if s.Name() == "" {
+			t.Error("scheme without a name")
+		}
+		saved := 0
+		for _, chip := range study.Regular.Chips {
+			if s.Apply(chip.Meas, study.Limits).Saved {
+				saved++
+			}
+		}
+		if saved == 0 {
+			t.Errorf("%s saved nothing, not even passing chips", s.Name())
+		}
+	}
+}
+
+func TestTechnologyTrendFacade(t *testing.T) {
+	rows, err := TechnologyTrend(200, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("nodes = %d", len(rows))
+	}
+	out := RenderTrend(rows)
+	if !strings.Contains(out, "32") || !strings.Contains(out, "90") {
+		t.Error("trend rendering incomplete")
+	}
+}
+
+func TestCompareSSTA(t *testing.T) {
+	study := NewStudy(StudyConfig{Chips: 400, Seed: 2006})
+	c := study.CompareSSTA()
+	if c.AnalyticMeanPS <= 0 || c.MCMeanPS <= 0 {
+		t.Fatal("degenerate comparison")
+	}
+	if c.AnalyticMeanPS >= c.MCMeanPS {
+		t.Error("the analytical mean should sit below the Monte Carlo mean (margin nonlinearity)")
+	}
+	if c.AnalyticViolationPct >= c.MCViolationPct {
+		t.Errorf("SSTA should underestimate violations: %v vs %v",
+			c.AnalyticViolationPct, c.MCViolationPct)
+	}
+	if !strings.Contains(RenderSSTA(c), "Monte Carlo") {
+		t.Error("rendering incomplete")
+	}
+}

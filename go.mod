@@ -1,0 +1,3 @@
+module yieldcache
+
+go 1.22

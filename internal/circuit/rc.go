@@ -1,0 +1,74 @@
+package circuit
+
+// RCLadder is a distributed interconnect model: a driver of resistance
+// DriverR feeding a wire of total resistance RTotal and total ground
+// capacitance CTotal split into Segments equal RC sections, with a
+// lumped load LoadC at the far end and optional coupling capacitance
+// CCoupling to a neighbouring line. This is the "distributed RC ladders
+// representing the local interconnect wires inside the cache" of
+// Section 3, made explicit; the lumped Wire.RCFactor used on the hot
+// path is validated against it (see TestLadderJustifiesLumpedFactor).
+type RCLadder struct {
+	Segments  int
+	DriverR   float64 // ohms
+	RTotal    float64 // ohms
+	CTotal    float64 // farads (ground/area+fringe)
+	CCoupling float64 // farads (to the adjacent line)
+	LoadC     float64 // farads
+}
+
+// Elmore returns the Elmore delay of the ladder with the coupling
+// capacitance counted at the given Miller factor: 0 when the neighbour
+// switches in the same direction, 1 when quiet, 2 when it switches the
+// opposite way — the worst case the cache's address bus and bitline
+// pairs must be timed for.
+func (l RCLadder) Elmore(miller float64) float64 {
+	n := l.Segments
+	if n < 1 {
+		n = 1
+	}
+	cSeg := (l.CTotal + miller*l.CCoupling) / float64(n)
+	rSeg := l.RTotal / float64(n)
+
+	// Driver sees the whole wire plus the load.
+	delay := l.DriverR * (float64(n)*cSeg + l.LoadC)
+	// Each segment's resistance sees the downstream capacitance.
+	for i := 1; i <= n; i++ {
+		downstream := float64(n-i)*cSeg + cSeg/2 + l.LoadC
+		delay += rSeg * downstream
+	}
+	return delay
+}
+
+// DistributedLimit returns the closed-form Elmore delay of the
+// infinitely-fine ladder: Rd·(Cw+CL) + Rw·Cw/2 + Rw·CL. The finite
+// ladder converges to this as Segments grows.
+func (l RCLadder) DistributedLimit(miller float64) float64 {
+	cw := l.CTotal + miller*l.CCoupling
+	return l.DriverR*(cw+l.LoadC) + l.RTotal*cw/2 + l.RTotal*l.LoadC
+}
+
+// LadderFor builds the ladder of a wire under process state w: the
+// nominal electricals scale with the geometric factors exactly as the
+// lumped model's ResFactor/CapFactor, so comparing Elmore ratios across
+// process corners against RCFactor quantifies what the lumped
+// abstraction gives away (nothing, to first order, when the load is
+// wire-dominated).
+func LadderFor(t Tech, w Wire, segments int, driverR, rNominal, cNominal, loadC float64) RCLadder {
+	cTot := cNominal * (1 - t.CouplingFrac)
+	cCpl := cNominal * t.CouplingFrac
+	ground := (1 + w.DW) / (1 + w.DH)
+	spacing := 1 - w.DW
+	if spacing < 0.05 {
+		spacing = 0.05
+	}
+	coupling := (1 + w.DT) / spacing
+	return RCLadder{
+		Segments:  segments,
+		DriverR:   driverR,
+		RTotal:    rNominal * w.ResFactor(),
+		CTotal:    cTot * ground,
+		CCoupling: cCpl * coupling,
+		LoadC:     loadC,
+	}
+}

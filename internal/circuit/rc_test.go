@@ -1,0 +1,110 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestElmoreSingleSegment(t *testing.T) {
+	// One segment: delay = Rd*(C+CL) + R*(C/2 + CL).
+	l := RCLadder{Segments: 1, DriverR: 100, RTotal: 50, CTotal: 2e-15, LoadC: 1e-15}
+	want := 100*(2e-15+1e-15) + 50*(1e-15+1e-15)
+	if got := l.Elmore(0); math.Abs(got-want) > 1e-25 {
+		t.Errorf("Elmore = %v, want %v", got, want)
+	}
+}
+
+func TestElmoreMatchesDistributedLimit(t *testing.T) {
+	// With the capacitance of each segment counted at its midpoint
+	// (the cSeg/2 term), the ladder's Elmore delay equals the
+	// distributed closed form for *any* segment count — the
+	// discretisation is exact, not merely convergent.
+	base := RCLadder{DriverR: 200, RTotal: 400, CTotal: 5e-15, CCoupling: 2e-15, LoadC: 3e-15}
+	limit := base.DistributedLimit(1)
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		l := base
+		l.Segments = n
+		if err := math.Abs(l.Elmore(1)-limit) / limit; err > 1e-9 {
+			t.Errorf("%d segments: relative error %v from the distributed limit", n, err)
+		}
+	}
+}
+
+func TestMillerFactorOrdering(t *testing.T) {
+	l := RCLadder{Segments: 16, DriverR: 100, RTotal: 300, CTotal: 4e-15, CCoupling: 3e-15, LoadC: 1e-15}
+	same := l.Elmore(0)    // neighbour switching with us
+	quiet := l.Elmore(1)   // neighbour quiet
+	opposed := l.Elmore(2) // neighbour switching against us
+	if !(same < quiet && quiet < opposed) {
+		t.Errorf("Miller ordering violated: %v, %v, %v", same, quiet, opposed)
+	}
+	// Without coupling capacitance the Miller factor is irrelevant.
+	l.CCoupling = 0
+	if l.Elmore(0) != l.Elmore(2) {
+		t.Error("Miller factor changed delay with zero coupling")
+	}
+}
+
+func TestLadderJustifiesLumpedFactor(t *testing.T) {
+	// The lumped Wire.RCFactor used throughout the cache model must
+	// track the full ladder's Elmore ratio across process corners for a
+	// wire-dominated stage (small driver, small load). This is the test
+	// that licenses the abstraction.
+	tech := PTM45()
+	corners := []Wire{
+		{},
+		{DW: 0.2, DT: -0.1, DH: 0.1},
+		{DW: -0.3, DT: 0.3, DH: -0.3},
+		{DW: 0.33, DT: 0.33, DH: 0.35},
+		{DW: -0.33, DT: -0.33, DH: -0.35},
+	}
+	nomLadder := LadderFor(tech, Wire{}, 64, 1, 500, 10e-15, 0.01e-15)
+	nomDelay := nomLadder.Elmore(1)
+	for _, w := range corners {
+		l := LadderFor(tech, w, 64, 1, 500, 10e-15, 0.01e-15)
+		ladderRatio := l.Elmore(1) / nomDelay
+		lumped := w.RCFactor(tech)
+		if math.Abs(ladderRatio-lumped)/lumped > 0.02 {
+			t.Errorf("corner %+v: ladder ratio %v vs lumped factor %v", w, ladderRatio, lumped)
+		}
+	}
+}
+
+func TestElmoreDegenerateSegments(t *testing.T) {
+	l := RCLadder{Segments: 0, DriverR: 10, RTotal: 10, CTotal: 1e-15}
+	if got := l.Elmore(1); got <= 0 || math.IsNaN(got) {
+		t.Errorf("zero-segment ladder should clamp to one segment, got %v", got)
+	}
+}
+
+// Property: Elmore delay is monotone in every electrical parameter.
+func TestElmoreMonotoneProperty(t *testing.T) {
+	f := func(rd, r, c, cc, cl uint8) bool {
+		l := RCLadder{
+			Segments:  16,
+			DriverR:   float64(rd) + 1,
+			RTotal:    float64(r) + 1,
+			CTotal:    (float64(c) + 1) * 1e-16,
+			CCoupling: float64(cc) * 1e-16,
+			LoadC:     float64(cl) * 1e-16,
+		}
+		base := l.Elmore(1)
+		bigger := l
+		bigger.RTotal *= 1.1
+		if bigger.Elmore(1) < base {
+			return false
+		}
+		bigger = l
+		bigger.CTotal *= 1.1
+		if bigger.Elmore(1) < base {
+			return false
+		}
+		bigger = l
+		bigger.DriverR *= 1.1
+		return bigger.Elmore(1) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

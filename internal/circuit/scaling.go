@@ -1,0 +1,42 @@
+package circuit
+
+import "fmt"
+
+// TechAt returns the technology constants for a process node (in nm).
+// PTM45 is the paper's operating point; the other nodes follow the
+// published scaling trends: supply and threshold voltages drop with the
+// node, short-channel effects (DIBL) and the relative weight of leakage
+// worsen, and sense margins tighten (less signal swing to work with).
+func TechAt(nodeNM int) (Tech, error) {
+	t := PTM45()
+	switch nodeNM {
+	case 45:
+		return t, nil
+	case 90:
+		t.Vdd = 1.2
+		t.VtNominal = 0.280
+		t.DIBL = 0.38
+		t.SubVtSlope = 0.030
+		t.SenseMarginGain = 2.2
+		t.CellLeakage = 60e-9
+		return t, nil
+	case 65:
+		t.Vdd = 1.1
+		t.VtNominal = 0.250
+		t.DIBL = 0.48
+		t.SubVtSlope = 0.028
+		t.SenseMarginGain = 2.6
+		t.CellLeakage = 130e-9
+		return t, nil
+	case 32:
+		t.Vdd = 0.9
+		t.VtNominal = 0.200
+		t.DIBL = 0.70
+		t.SubVtSlope = 0.026
+		t.SenseMarginGain = 3.6
+		t.CellLeakage = 500e-9
+		return t, nil
+	default:
+		return Tech{}, fmt.Errorf("circuit: no technology constants for %d nm", nodeNM)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"yieldcache/internal/circuit"
+	"yieldcache/internal/sram"
+)
+
+// populationFile is the on-disk form of a population: everything needed
+// to reload it and keep analysing without re-running the Monte Carlo.
+type populationFile struct {
+	Version int
+	Seed    int64
+	HYAPD   bool
+	Tech    circuit.Tech
+	Geom    sram.Geometry
+	Chips   []Chip
+}
+
+const persistVersion = 1
+
+// Save serialises the population (gob-encoded) so that expensive
+// Monte Carlo runs can be cached on disk and shared between tools.
+func (p *Population) Save(w io.Writer) error {
+	f := populationFile{
+		Version: persistVersion,
+		Seed:    p.Seed,
+		HYAPD:   p.Model.HYAPD,
+		Tech:    p.Model.Tech,
+		Geom:    p.Model.Geom,
+		Chips:   p.Chips,
+	}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("core: encoding population: %w", err)
+	}
+	return nil
+}
+
+// ReadPopulation reloads a population written by Save.
+func ReadPopulation(r io.Reader) (*Population, error) {
+	var f populationFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding population: %w", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("core: population file version %d, want %d", f.Version, persistVersion)
+	}
+	if len(f.Chips) == 0 {
+		return nil, fmt.Errorf("core: population file holds no chips")
+	}
+	model := &sram.Model{Tech: f.Tech, Geom: f.Geom, HYAPD: f.HYAPD}
+	return &Population{Chips: f.Chips, Model: model, Seed: f.Seed}, nil
+}

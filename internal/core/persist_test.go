@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPopulationRoundTrip(t *testing.T) {
+	orig := BuildPopulation(PopulationConfig{N: 50, Seed: 11, HYAPD: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPopulation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != orig.Seed || !got.Model.HYAPD {
+		t.Error("metadata lost in round trip")
+	}
+	if len(got.Chips) != len(orig.Chips) {
+		t.Fatalf("chips = %d, want %d", len(got.Chips), len(orig.Chips))
+	}
+	for i := range got.Chips {
+		if got.Chips[i].Meas.LatencyPS != orig.Chips[i].Meas.LatencyPS ||
+			got.Chips[i].Meas.LeakageW != orig.Chips[i].Meas.LeakageW {
+			t.Fatalf("chip %d altered by round trip", i)
+		}
+	}
+	// The reloaded population supports the full analysis path.
+	lim := DeriveLimits(got, Nominal())
+	bd := BreakdownLosses(got, lim, Hybrid{})
+	if bd.N != 50 {
+		t.Error("analysis on reloaded population broken")
+	}
+}
+
+func TestReadPopulationErrors(t *testing.T) {
+	if _, err := ReadPopulation(strings.NewReader("not gob")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPopulation(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"yieldcache/internal/circuit"
+	"yieldcache/internal/sram"
+	"yieldcache/internal/variation"
+)
+
+// PaperPopulationSize is the number of Monte Carlo chips the paper
+// simulates (Section 5.1).
+const PaperPopulationSize = 2000
+
+// Chip is one simulated die: its id within the population and its
+// evaluated cache.
+type Chip struct {
+	ID   int
+	Meas sram.CacheMeasurement
+}
+
+// Population is a Monte Carlo sample of chips evaluated on one cache
+// organisation.
+type Population struct {
+	Chips []Chip
+	Model *sram.Model
+	Seed  int64
+}
+
+// PopulationConfig parameterises BuildPopulation.
+type PopulationConfig struct {
+	N     int   // number of chips; 0 means PaperPopulationSize
+	Seed  int64 // master seed of the variation sampler
+	HYAPD bool  // evaluate the H-YAPD cache organisation
+	Tech  *circuit.Tech
+	Spec  *variation.Spec
+	Fact  *variation.Factors
+}
+
+func (c *PopulationConfig) fill() {
+	if c.N == 0 {
+		c.N = PaperPopulationSize
+	}
+	if c.Tech == nil {
+		t := circuit.PTM45()
+		c.Tech = &t
+	}
+	if c.Spec == nil {
+		s := variation.Nassif45nm()
+		c.Spec = &s
+	}
+	if c.Fact == nil {
+		f := variation.PaperFactors()
+		c.Fact = &f
+	}
+}
+
+// BuildPopulation samples and evaluates a chip population. Chip i is a
+// pure function of (Seed, i), so the regular and H-YAPD organisations
+// built from the same seed see identical process variation draws — the
+// paper's "we have applied the same process variation parameters used in
+// the previous simulations". Evaluation is parallelised across CPUs.
+func BuildPopulation(cfg PopulationConfig) *Population {
+	cfg.fill()
+	model := sram.NewModel(*cfg.Tech, cfg.HYAPD)
+	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
+
+	chips := make([]Chip, cfg.N)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < cfg.N; i += workers {
+				chips[i] = Chip{ID: i, Meas: model.Measure(sampler.Chip(i))}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return &Population{Chips: chips, Model: model, Seed: cfg.Seed}
+}
+
+// Latencies returns the cache access latency of every chip.
+func (p *Population) Latencies() []float64 {
+	out := make([]float64, len(p.Chips))
+	for i, c := range p.Chips {
+		out[i] = c.Meas.LatencyPS
+	}
+	return out
+}
+
+// Leakages returns the total cache leakage of every chip.
+func (p *Population) Leakages() []float64 {
+	out := make([]float64, len(p.Chips))
+	for i, c := range p.Chips {
+		out[i] = c.Meas.LeakageW
+	}
+	return out
+}
+
+// ScatterPoint is one chip of the Figure 8 scatter plot.
+type ScatterPoint struct {
+	LatencyPS         float64
+	NormalizedLeakage float64 // leakage / population average
+	Reason            LossReason
+}
+
+// Scatter returns the Figure 8 data: latency versus leakage normalised
+// to the population average, with each chip's loss classification under
+// the given limits.
+func (p *Population) Scatter(lim Limits) []ScatterPoint {
+	leaks := p.Leakages()
+	avg := 0.0
+	for _, l := range leaks {
+		avg += l
+	}
+	avg /= float64(len(leaks))
+	pts := make([]ScatterPoint, len(p.Chips))
+	for i, c := range p.Chips {
+		pts[i] = ScatterPoint{
+			LatencyPS:         c.Meas.LatencyPS,
+			NormalizedLeakage: leaks[i] / avg,
+			Reason:            Classify(c.Meas, lim),
+		}
+	}
+	return pts
+}

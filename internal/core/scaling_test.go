@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestYieldTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four populations")
+	}
+	rows, err := YieldTrend(500, 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("nodes = %d", len(rows))
+	}
+	if rows[0].NodeNM != 90 || rows[3].NodeNM != 32 {
+		t.Error("node order wrong")
+	}
+	// The Figure 1 parametric story: leakage-driven losses explode with
+	// scaling, and the newest node has the worst base yield.
+	if !(rows[3].LeakageLoss > rows[0].LeakageLoss) {
+		t.Errorf("leakage losses should grow with scaling: 90nm %d vs 32nm %d",
+			rows[0].LeakageLoss, rows[3].LeakageLoss)
+	}
+	if !(rows[3].BaseYield < rows[0].BaseYield) {
+		t.Errorf("base yield should fall with scaling: 90nm %.3f vs 32nm %.3f",
+			rows[0].BaseYield, rows[3].BaseYield)
+	}
+	for _, r := range rows {
+		if !(r.BaseYield <= r.YAPDYield && r.YAPDYield <= r.HybridYield) {
+			t.Errorf("%d nm: scheme ordering violated: %+v", r.NodeNM, r)
+		}
+		if r.BaseYield < 0.5 || r.HybridYield > 1.0 {
+			t.Errorf("%d nm: implausible yields: %+v", r.NodeNM, r)
+		}
+	}
+}
+
+func TestYieldTrendSmallPopulation(t *testing.T) {
+	rows, err := YieldTrend(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("nodes = %d", len(rows))
+	}
+}

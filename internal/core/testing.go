@@ -1,0 +1,150 @@
+package core
+
+import (
+	"yieldcache/internal/sram"
+	"yieldcache/internal/stats"
+)
+
+// The schemes' power-down decisions are made from post-fabrication
+// measurements — memory tests for latency, on-die leakage sensors for
+// power (Section 4.1 cites Kim et al.'s sub-90nm leakage sensor). Real
+// measurements carry error, and a yield-aware scheme configured from
+// noisy data can misfire in two ways:
+//
+//   - a test escape: the chip is shipped in a configuration that, on
+//     its true parameters, still violates a constraint;
+//   - overkill: a chip that a perfect measurement would have saved (or
+//     passed) is discarded.
+//
+// MeasurementModel perturbs a chip's measured latencies and leakages
+// with multiplicative Gaussian error before the scheme decides, then
+// scores the decision against the true values.
+
+// MeasurementModel describes the tester's accuracy.
+type MeasurementModel struct {
+	// LatencySigma is the relative 1-sigma error of path-delay
+	// measurement (speed binning resolution), e.g. 0.02 for 2%.
+	LatencySigma float64
+	// LeakageSigma is the relative 1-sigma error of the leakage sensors,
+	// typically coarser than delay test.
+	LeakageSigma float64
+	// Seed makes the noise deterministic.
+	Seed int64
+}
+
+// Perturb returns a copy of the measurement with noise applied. Each
+// path delay and each bank leakage gets an independent multiplicative
+// error; aggregates are recomputed from the noisy parts, so the noisy
+// view is internally consistent.
+func (mm MeasurementModel) Perturb(chipID int, m sram.CacheMeasurement) sram.CacheMeasurement {
+	rng := stats.NewRNG(mm.Seed).Split(int64(chipID) + 1)
+	out := sram.CacheMeasurement{Ways: make([]sram.WayMeasurement, len(m.Ways))}
+	for wi, w := range m.Ways {
+		nw := sram.WayMeasurement{
+			Banks:       make([]sram.BankMeasurement, len(w.Banks)),
+			PeriphLeakW: w.PeriphLeakW * factor(rng, mm.LeakageSigma),
+		}
+		for bi, b := range w.Banks {
+			nb := sram.BankMeasurement{
+				Paths:      make([]sram.PathMeasurement, len(b.Paths)),
+				ArrayLeakW: b.ArrayLeakW * factor(rng, mm.LeakageSigma),
+			}
+			for pi, p := range b.Paths {
+				p.DelayPS *= factor(rng, mm.LatencySigma)
+				nb.Paths[pi] = p
+				if p.DelayPS > nb.MaxPS {
+					nb.MaxPS = p.DelayPS
+				}
+			}
+			nw.Banks[bi] = nb
+			if nb.MaxPS > nw.LatencyPS {
+				nw.LatencyPS = nb.MaxPS
+			}
+			nw.LeakageW += nb.ArrayLeakW
+		}
+		nw.LeakageW += nw.PeriphLeakW
+		out.Ways[wi] = nw
+		if nw.LatencyPS > out.LatencyPS {
+			out.LatencyPS = nw.LatencyPS
+		}
+		out.LeakageW += nw.LeakageW
+	}
+	return out
+}
+
+func factor(rng *stats.RNG, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	f := rng.Normal(1, sigma)
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// TestOutcome summarises a scheme's decisions under measurement noise.
+type TestOutcome struct {
+	Shipped  int // chips sold (decided sellable from the noisy view)
+	Escapes  int // shipped chips whose true configuration still violates
+	Overkill int // chips a perfect tester would sell but this one discards
+	Perfect  int // chips the perfect tester sells (the reference)
+}
+
+// EvaluateUnderNoise applies the scheme to every chip's *noisy*
+// measurement and checks the resulting configuration against the true
+// one. A shipped chip's configuration is validated by re-checking the
+// true per-way values under the shipped way/region assignments.
+func EvaluateUnderNoise(pop *Population, lim Limits, s Scheme, mm MeasurementModel) TestOutcome {
+	var out TestOutcome
+	for _, chip := range pop.Chips {
+		perfect := s.Apply(chip.Meas, lim)
+		if perfect.Saved {
+			out.Perfect++
+		}
+		noisy := mm.Perturb(chip.ID, chip.Meas)
+		decision := s.Apply(noisy, lim)
+		if !decision.Saved {
+			if perfect.Saved {
+				out.Overkill++
+			}
+			continue
+		}
+		out.Shipped++
+		if !configValid(chip.Meas, lim, decision) {
+			out.Escapes++
+		}
+	}
+	return out
+}
+
+// configValid checks a shipped configuration against the chip's true
+// parameters: every enabled way must meet the cycle count it was binned
+// at, and the true leakage of the enabled portion must meet the limit.
+func configValid(m sram.CacheMeasurement, lim Limits, o Outcome) bool {
+	leak := 0.0
+	for i, w := range m.Ways {
+		if o.DisabledRegion >= 0 {
+			leak += w.LeakageWithoutBank(o.DisabledRegion)
+			if lim.WayCycles(w.LatencyWithoutBank(o.DisabledRegion)) > maxCyclesOf(o, i) {
+				return false
+			}
+			continue
+		}
+		if o.Config.WayCycles[i] == 0 {
+			continue // powered down: contributes nothing
+		}
+		leak += w.LeakageW
+		if lim.WayCycles(w.LatencyPS) > o.Config.WayCycles[i] {
+			return false
+		}
+	}
+	return leak <= lim.LeakageW
+}
+
+func maxCyclesOf(o Outcome, way int) int {
+	if o.Config.WayCycles[way] == 0 {
+		return 1 << 30 // region-disabled configs keep all ways powered
+	}
+	return o.Config.WayCycles[way]
+}

@@ -1,0 +1,121 @@
+package cpu
+
+import "yieldcache/internal/workload"
+
+// Config is the processor configuration of Section 5.2.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROB         int
+	IQ          int
+	// FrontStages is the fetch-to-rename depth; SchedToExec is the
+	// paper's "7 pipeline stages between the schedule and execute
+	// stages", which sets both the speculative-scheduling window of load
+	// dependents and part of the mispredict penalty.
+	FrontStages int
+	SchedToExec int
+
+	// Functional units.
+	IALUs, IMults, FPALUs, FPMults, MemPorts int
+
+	// PredictedLoadCycles is what the scheduler assumes a load hit takes
+	// when it speculatively schedules dependents: BaseCycles (4) for the
+	// normal and VACA machines, the bin latency for naive binning
+	// (Section 4.5).
+	PredictedLoadCycles int
+	// BypassEntries is the per-functional-unit-input load-bypass buffer
+	// depth (Section 4.3 uses a single entry, covering 5-cycle loads).
+	BypassEntries int
+	// ReplayCycles is the selective-replay overhead charged to a
+	// dependent that was speculatively scheduled but whose load missed.
+	ReplayCycles int
+
+	L1I CacheSpec
+	L1D CacheSpec
+	L2  CacheSpec
+	// MemCycles is the memory access delay (350, Section 5.2); MSHRs
+	// bounds outstanding misses (lock-up-free caches).
+	MemCycles int
+	MSHRs     int
+
+	// StoreForwardWindow is how many instructions back a load can find a
+	// matching store and receive its data via the LSQ at base latency.
+	StoreForwardWindow int
+
+	// NextLinePrefetch enables the L1D next-line prefetcher (not part of
+	// the paper's machine; used by the prefetch ablation).
+	NextLinePrefetch bool
+}
+
+// DefaultConfig returns the simulated processor of Section 5.2: 4-wide,
+// IQ 128, ROB 256, L1I 16KB/4-way/64B/2cyc, L1D 16KB/4-way/32B/4cyc,
+// unified L2 512KB/8-way/128B/25cyc, 350-cycle memory, 7 stages between
+// schedule and execute.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		ROB:         256,
+		IQ:          128,
+		FrontStages: 4,
+		SchedToExec: 7,
+
+		IALUs: 4, IMults: 1, FPALUs: 4, FPMults: 1, MemPorts: 2,
+
+		PredictedLoadCycles: 4,
+		BypassEntries:       1,
+		ReplayCycles:        3,
+
+		L1I: CacheSpec{Name: "L1I", SizeKB: 16, Assoc: 4, BlockBytes: 64, HitCycles: 2, HRegionOff: -1},
+		L1D: CacheSpec{Name: "L1D", SizeKB: 16, Assoc: 4, BlockBytes: 32, HitCycles: 4, HRegionOff: -1},
+		L2:  CacheSpec{Name: "L2", SizeKB: 512, Assoc: 8, BlockBytes: 128, HitCycles: 25, HRegionOff: -1},
+
+		MemCycles: 350,
+		MSHRs:     8,
+
+		StoreForwardWindow: 64,
+	}
+}
+
+// WithL1D returns a copy of the config with the L1 data cache's per-way
+// latencies, disabled horizontal region and scheduler prediction set.
+// wayCycles entries are cycle counts (0 = way disabled); nil keeps the
+// uniform 4-cycle cache. predicted 0 keeps the default prediction.
+func (c Config) WithL1D(wayCycles []int, hRegionOff, predicted int) Config {
+	c.L1D.WayCycles = wayCycles
+	c.L1D.HRegionOff = hRegionOff
+	if predicted > 0 {
+		c.PredictedLoadCycles = predicted
+	}
+	return c
+}
+
+// opLatency returns the execution latency of an op class, matching
+// SimpleScalar's defaults.
+func opLatency(op workload.OpClass) int {
+	switch op {
+	case workload.IALU, workload.Branch:
+		return 1
+	case workload.IMul:
+		return 3
+	case workload.IDiv:
+		return 20
+	case workload.FAdd:
+		return 2
+	case workload.FMul:
+		return 4
+	case workload.FDiv:
+		return 12
+	case workload.Load, workload.Store:
+		return 1 // address generation; memory time comes from the hierarchy
+	default:
+		return 1
+	}
+}
+
+// pipelined reports whether the unit accepts a new op every cycle.
+func pipelined(op workload.OpClass) bool {
+	return op != workload.IDiv && op != workload.FDiv
+}

@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"testing"
+
+	"yieldcache/internal/workload"
+)
+
+func TestDefaultConfigMatchesSection52(t *testing.T) {
+	c := DefaultConfig()
+	if c.FetchWidth != 4 || c.IssueWidth != 4 || c.CommitWidth != 4 {
+		t.Error("the paper's processor is 4-wide")
+	}
+	if c.IQ != 128 || c.ROB != 256 {
+		t.Error("issue queue 128 / ROB 256 per Section 5.2")
+	}
+	if c.SchedToExec != 7 {
+		t.Error("7 pipeline stages between schedule and execute")
+	}
+	if c.L1I.SizeKB != 16 || c.L1I.BlockBytes != 64 || c.L1I.HitCycles != 2 {
+		t.Errorf("L1I spec wrong: %+v", c.L1I)
+	}
+	if c.L1D.SizeKB != 16 || c.L1D.Assoc != 4 || c.L1D.BlockBytes != 32 || c.L1D.HitCycles != 4 {
+		t.Errorf("L1D spec wrong: %+v", c.L1D)
+	}
+	if c.L2.SizeKB != 512 || c.L2.Assoc != 8 || c.L2.BlockBytes != 128 || c.L2.HitCycles != 25 {
+		t.Errorf("L2 spec wrong: %+v", c.L2)
+	}
+	if c.MemCycles != 350 {
+		t.Error("memory delay is 350 cycles")
+	}
+	if c.PredictedLoadCycles != 4 || c.BypassEntries != 1 {
+		t.Error("VACA defaults wrong")
+	}
+	for _, spec := range []CacheSpec{c.L1I, c.L1D, c.L2} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("default %s invalid: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestOpLatencies(t *testing.T) {
+	cases := map[workload.OpClass]int{
+		workload.IALU: 1, workload.Branch: 1, workload.IMul: 3,
+		workload.IDiv: 20, workload.FAdd: 2, workload.FMul: 4,
+		workload.FDiv: 12, workload.Load: 1, workload.Store: 1,
+	}
+	for op, want := range cases {
+		if got := opLatency(op); got != want {
+			t.Errorf("latency(%v) = %d, want %d", op, got, want)
+		}
+	}
+	if pipelined(workload.IDiv) || pipelined(workload.FDiv) {
+		t.Error("dividers are unpipelined")
+	}
+	if !pipelined(workload.IALU) || !pipelined(workload.FMul) {
+		t.Error("ALUs and multipliers are pipelined")
+	}
+}
+
+func TestDetailedHRegionMatchesWayShutdown(t *testing.T) {
+	// The detailed core must also honour the horizontal-region exclusion
+	// with ~3-way behaviour.
+	base := runDetailed(t, "gcc", 60000, DefaultConfig())
+	hoff := runDetailed(t, "gcc", 60000, DefaultConfig().WithL1D(nil, 1, 4))
+	if hoff.CPI <= base.CPI {
+		t.Error("region shutdown should cost cycles in the detailed core too")
+	}
+	if hoff.L1DMisses <= base.L1DMisses {
+		t.Error("region shutdown should add misses")
+	}
+}
+
+func TestRunMatchesResultAccounting(t *testing.T) {
+	p, _ := workload.ByName("gap")
+	r := Run(workload.NewGenerator(p, 4), 50000, DefaultConfig())
+	if r.Cycles == 0 || r.CPI != float64(r.Cycles)/float64(r.Instructions) {
+		t.Error("CPI accounting inconsistent")
+	}
+	if r.L1DMisses > r.L1DAccesses {
+		t.Error("more misses than accesses")
+	}
+	if r.MemAccesses > r.L2Misses+r.L1IMisses {
+		t.Error("memory accesses exceed L2 misses")
+	}
+}

@@ -1,0 +1,335 @@
+package cpu
+
+import "yieldcache/internal/workload"
+
+// This file holds the event-driven (explicit per-cycle) out-of-order
+// core. Run (pipeline.go) computes the same machine's timing in a
+// single program-order pass with closed-form resource windows, which is
+// fast; RunDetailed walks the pipeline cycle by cycle with explicit
+// ROB/IQ occupancy, per-cycle issue selection and wakeup. The two
+// implementations are developed independently and cross-validated
+// against each other (TestDetailedAgreesWithFastModel); the detailed
+// core is the reference, the fast one is what the experiment drivers
+// use.
+
+type uopState int
+
+const (
+	uopFetched uopState = iota
+	uopInIQ
+	uopIssued
+	uopDone
+	uopCommitted
+)
+
+type uop struct {
+	seq        int64
+	op         workload.OpClass
+	src1, src2 int64 // absolute producer sequence numbers, -1 if none
+	addr       uint64
+	mispred    bool
+
+	state    uopState
+	issuedAt int64
+	execAt   int64 // cycle execution starts (after SchedToExec + stalls)
+	doneAt   int64
+	replayed bool
+	predDone int64 // when the scheduler believes the result arrives
+	inReplay bool  // waiting to be re-issued after a replay
+	replayAt int64 // cycle at which the replayed uop may issue again
+}
+
+// detailedMachine is the explicit-state core.
+type detailedMachine struct {
+	cfg  Config
+	hier *Hierarchy
+	gen  *workload.Generator
+
+	rob      []*uop // in program order, oldest first
+	iq       []*uop // dispatched, waiting to issue
+	fetchQ   []*uop
+	byseq    map[int64]*uop
+	nextSeq  int64
+	fetched  int64
+	target   int64
+	cycle    int64
+	redirect int64 // fetch stalls until this cycle (mispredict/ICache)
+
+	lastFetchBlock uint64
+
+	ialu, imult, fpalu, fpmult, memport []int64
+	bypass                              []int64
+
+	storeSeq map[uint64]int64
+
+	res Result
+}
+
+// RunDetailed simulates n instructions cycle by cycle and returns the
+// aggregate result. It is several times slower than Run and exists for
+// validation and for studies that need exact structural occupancy.
+func RunDetailed(gen *workload.Generator, n int, cfg Config) Result {
+	m := &detailedMachine{
+		cfg:            cfg,
+		hier:           NewHierarchy(NewCache(cfg.L1I), NewCache(cfg.L1D), NewCache(cfg.L2), cfg.MemCycles, cfg.MSHRs),
+		gen:            gen,
+		byseq:          make(map[int64]*uop, cfg.ROB*2),
+		target:         int64(n),
+		ialu:           make([]int64, cfg.IALUs),
+		imult:          make([]int64, cfg.IMults),
+		fpalu:          make([]int64, cfg.FPALUs),
+		fpmult:         make([]int64, cfg.FPMults),
+		memport:        make([]int64, cfg.MemPorts),
+		bypass:         make([]int64, (cfg.IALUs+cfg.IMults+cfg.FPALUs+cfg.FPMults+cfg.MemPorts)*2*max(1, cfg.BypassEntries)),
+		storeSeq:       make(map[uint64]int64),
+		lastFetchBlock: ^uint64(0),
+	}
+	m.hier.NextLinePrefetch = cfg.NextLinePrefetch
+
+	committed := int64(0)
+	for committed < m.target {
+		committed += m.commit()
+		m.issueAndExecute()
+		m.dispatch()
+		m.fetch()
+		m.cycle++
+		// Liveness guard: a correct machine always commits within a
+		// bounded window (memory latency + pipeline depth).
+		if m.cycle > 1000*(m.target+1000) {
+			panic("cpu: detailed model livelocked")
+		}
+	}
+	m.res.Instructions = uint64(m.target)
+	m.res.Cycles = uint64(m.cycle)
+	m.res.CPI = float64(m.cycle) / float64(m.target)
+	m.res.L1DSlowHits = m.hier.L1D.SlowHits
+	m.res.L2Misses = m.hier.L2Misses
+	m.res.MemAccesses = m.hier.MemAccesses
+	return m.res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fetch brings up to FetchWidth instructions into the fetch queue,
+// honouring I-cache misses and mispredict redirects.
+func (m *detailedMachine) fetch() {
+	if m.cycle < m.redirect {
+		return
+	}
+	for i := 0; i < m.cfg.FetchWidth && m.fetched < m.target; i++ {
+		if len(m.fetchQ) >= m.cfg.FetchWidth*(m.cfg.FrontStages+1) {
+			return // front-end buffer full
+		}
+		in := m.gen.Next()
+		block := in.PC &^ uint64(m.cfg.L1I.BlockBytes-1)
+		if block != m.lastFetchBlock {
+			m.lastFetchBlock = block
+			if _, hit, _ := m.hier.L1I.Access(in.PC, false); !hit {
+				m.res.L1IMisses++
+				extra := m.hier.missPath(in.PC, false, m.cycle)
+				m.redirect = m.cycle + extra
+			}
+		}
+		u := &uop{
+			seq:  m.nextSeq,
+			op:   in.Op,
+			src1: -1, src2: -1,
+			addr:    in.Addr,
+			mispred: in.Op == workload.Branch && in.Mispredicted,
+		}
+		if in.Src1Dist > 0 && m.nextSeq-int64(in.Src1Dist) >= 0 {
+			u.src1 = m.nextSeq - int64(in.Src1Dist)
+		}
+		if in.Src2Dist > 0 && m.nextSeq-int64(in.Src2Dist) >= 0 {
+			u.src2 = m.nextSeq - int64(in.Src2Dist)
+		}
+		m.nextSeq++
+		m.fetched++
+		m.fetchQ = append(m.fetchQ, u)
+		if m.cycle < m.redirect {
+			return // the I-miss stalls the rest of this fetch group
+		}
+	}
+}
+
+// dispatch moves fetched uops into the ROB and IQ, limited by width and
+// by structural occupancy.
+func (m *detailedMachine) dispatch() {
+	for i := 0; i < m.cfg.FetchWidth && len(m.fetchQ) > 0; i++ {
+		if len(m.rob) >= m.cfg.ROB || len(m.iq) >= m.cfg.IQ {
+			return
+		}
+		u := m.fetchQ[0]
+		m.fetchQ = m.fetchQ[1:]
+		u.state = uopInIQ
+		m.rob = append(m.rob, u)
+		m.iq = append(m.iq, u)
+		m.byseq[u.seq] = u
+	}
+}
+
+// producerReadyAt returns when the scheduler believes (predicted) and
+// when the producer actually delivers. Missing producers (retired long
+// ago or none) are ready immediately.
+func (m *detailedMachine) producerReadyAt(seq int64) (pred, actual int64, ok bool) {
+	if seq < 0 {
+		return 0, 0, true
+	}
+	p, live := m.byseq[seq]
+	if !live {
+		return 0, 0, true // long retired: register file has the value
+	}
+	if p.state == uopCommitted || p.state == uopDone {
+		return p.doneAt, p.doneAt, true
+	}
+	if p.state != uopIssued {
+		return 0, 0, false // not even issued: no wakeup yet
+	}
+	return p.predDone, p.doneAt, true
+}
+
+// issueAndExecute selects up to IssueWidth ready uops oldest-first,
+// books functional units, runs memory accesses and handles the
+// load-bypass stall / replay semantics of Section 4.3.
+func (m *detailedMachine) issueAndExecute() {
+	issued := 0
+	S := int64(m.cfg.SchedToExec)
+	for idx := 0; idx < len(m.iq) && issued < m.cfg.IssueWidth; idx++ {
+		u := m.iq[idx]
+		if u.inReplay && m.cycle < u.replayAt {
+			continue
+		}
+		p1, a1, ok1 := m.producerReadyAt(u.src1)
+		p2, a2, ok2 := m.producerReadyAt(u.src2)
+		if !ok1 || !ok2 {
+			continue
+		}
+		// Speculative wakeup: issue so that execution begins when the
+		// *predicted* completion arrives.
+		predReady := maxi64(p1, p2)
+		if predReady > m.cycle+S {
+			continue // too early to issue even speculatively
+		}
+		// Book a functional unit at the planned execution time.
+		lat := int64(opLatency(u.op))
+		busy := int64(1)
+		if !pipelined(u.op) {
+			busy = lat
+		}
+		exec := acquireUnit(m.unitsFor(u.op), m.cycle+S, busy)
+
+		actualReady := maxi64(a1, a2)
+		if actualReady > exec {
+			delay := actualReady - exec
+			if delay <= int64(m.cfg.BypassEntries) {
+				m.res.BypassStalls++
+				slot := acquireUnit(m.bypass, exec, delay)
+				if slot > exec {
+					m.res.BufferConflict++
+				}
+				exec = slot + delay
+			} else {
+				// Replay: the uop returns to the IQ and may not issue
+				// again until the producer's data is actually close.
+				m.res.Replays++
+				u.inReplay = true
+				u.replayAt = actualReady - S + int64(m.cfg.ReplayCycles)
+				continue
+			}
+		}
+
+		u.state = uopIssued
+		u.issuedAt = m.cycle
+		u.execAt = exec
+		switch u.op {
+		case workload.Load:
+			word := u.addr &^ 7
+			if sseq, ok := m.storeSeq[word]; ok && u.seq-sseq <= int64(m.cfg.StoreForwardWindow) {
+				m.res.Forwards++
+				u.doneAt = exec + int64(m.cfg.PredictedLoadCycles)
+			} else {
+				m.res.L1DAccesses++
+				miss0 := m.hier.L1D.Misses
+				u.doneAt = m.hier.DataAccess(u.addr, false, exec)
+				if m.hier.L1D.Misses > miss0 {
+					m.res.L1DMisses++
+				}
+			}
+			u.predDone = exec + int64(m.cfg.PredictedLoadCycles)
+		case workload.Store:
+			m.storeSeq[u.addr&^7] = u.seq
+			m.res.L1DAccesses++
+			miss0 := m.hier.L1D.Misses
+			m.hier.DataAccess(u.addr, true, exec)
+			if m.hier.L1D.Misses > miss0 {
+				m.res.L1DMisses++
+			}
+			u.doneAt = exec + lat
+			u.predDone = u.doneAt
+		default:
+			u.doneAt = exec + lat
+			u.predDone = u.doneAt
+		}
+		if u.mispred {
+			m.res.Mispredicts++
+			if r := u.doneAt + 1; r > m.redirect {
+				m.redirect = r
+			}
+			m.lastFetchBlock = ^uint64(0)
+		}
+		// Remove from the IQ (entry freed at issue).
+		m.iq = append(m.iq[:idx], m.iq[idx+1:]...)
+		idx--
+		issued++
+	}
+	// Writeback: mark issued uops whose completion time has passed.
+	for _, u := range m.rob {
+		if u.state == uopIssued && u.doneAt <= m.cycle {
+			u.state = uopDone
+		}
+	}
+}
+
+// commit retires up to CommitWidth done uops from the ROB head and
+// returns how many retired this cycle.
+func (m *detailedMachine) commit() int64 {
+	n := int64(0)
+	for n < int64(m.cfg.CommitWidth) && len(m.rob) > 0 {
+		u := m.rob[0]
+		if u.state != uopDone || u.doneAt >= m.cycle {
+			break
+		}
+		u.state = uopCommitted
+		delete(m.byseq, u.seq)
+		m.rob = m.rob[1:]
+		n++
+	}
+	return n
+}
+
+func (m *detailedMachine) unitsFor(op workload.OpClass) []int64 {
+	switch op {
+	case workload.IMul, workload.IDiv:
+		return m.imult
+	case workload.FAdd:
+		return m.fpalu
+	case workload.FMul, workload.FDiv:
+		return m.fpmult
+	case workload.Load, workload.Store:
+		return m.memport
+	default:
+		return m.ialu
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

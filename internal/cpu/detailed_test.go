@@ -1,0 +1,108 @@
+package cpu
+
+import (
+	"testing"
+
+	"yieldcache/internal/workload"
+)
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func runDetailed(t *testing.T, name string, n int, cfg Config) Result {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return RunDetailed(workload.NewGenerator(p, 1), n, cfg)
+}
+
+func TestDetailedBasics(t *testing.T) {
+	r := runDetailed(t, "gzip", 50000, DefaultConfig())
+	if r.Instructions != 50000 || r.CPI <= 0.25 || r.CPI > 10 {
+		t.Fatalf("implausible detailed run: %+v", r)
+	}
+	if r.L1DAccesses == 0 || r.Mispredicts == 0 {
+		t.Error("missing activity")
+	}
+}
+
+func TestDetailedDeterminism(t *testing.T) {
+	a := runDetailed(t, "vpr", 20000, DefaultConfig())
+	b := runDetailed(t, "vpr", 20000, DefaultConfig())
+	if a != b {
+		t.Error("identical detailed runs differ")
+	}
+}
+
+func TestDetailedAgreesWithFastModel(t *testing.T) {
+	// The one-pass model (Run) and the per-cycle model (RunDetailed) are
+	// independent implementations of the same machine. They must agree:
+	//  - exactly on cache behaviour (same access sequence),
+	//  - within 20% on absolute CPI,
+	//  - and on the *direction and rough size* of configuration deltas,
+	//    which is what every experiment measures.
+	for _, name := range []string{"gzip", "eon", "mcf", "swim"} {
+		p, _ := workload.ByName(name)
+		fast := Run(workload.NewGenerator(p, 1), 80000, DefaultConfig())
+		det := RunDetailed(workload.NewGenerator(p, 1), 80000, DefaultConfig())
+		// Cache behaviour must match almost exactly; the residual is the
+		// detailed core issuing loads out of order around stores, which
+		// shifts a handful of accesses in or out of the forwarding window.
+		if d := absDiff(fast.L1DAccesses, det.L1DAccesses); d*1000 > fast.L1DAccesses {
+			t.Errorf("%s: access counts diverged: %d vs %d", name, fast.L1DAccesses, det.L1DAccesses)
+		}
+		if d := absDiff(fast.L1DMisses, det.L1DMisses); d*200 > fast.L1DMisses+200 {
+			t.Errorf("%s: miss counts diverged: %d vs %d", name, fast.L1DMisses, det.L1DMisses)
+		}
+		if r := det.CPI / fast.CPI; r < 0.80 || r > 1.25 {
+			t.Errorf("%s: detailed/fast CPI ratio %v outside [0.8, 1.25]", name, r)
+		}
+	}
+}
+
+func TestDetailedDeltaAgreement(t *testing.T) {
+	// The headline experiment quantity: CPI degradation from a slow way.
+	// Both models must agree it is positive and of similar magnitude.
+	p, _ := workload.ByName("crafty")
+	n := 80000
+	fastBase := Run(workload.NewGenerator(p, 1), n, DefaultConfig())
+	fastSlow := Run(workload.NewGenerator(p, 1), n, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 4))
+	detBase := RunDetailed(workload.NewGenerator(p, 1), n, DefaultConfig())
+	detSlow := RunDetailed(workload.NewGenerator(p, 1), n, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 4))
+	dFast := fastSlow.CPI/fastBase.CPI - 1
+	dDet := detSlow.CPI/detBase.CPI - 1
+	if dDet <= 0 {
+		t.Fatalf("detailed model shows no slow-way cost: %v", dDet)
+	}
+	if dDet < 0.3*dFast || dDet > 3*dFast {
+		t.Errorf("delta disagreement: fast %+.2f%% vs detailed %+.2f%%", dFast*100, dDet*100)
+	}
+}
+
+func TestDetailedReplaysOnMisses(t *testing.T) {
+	r := runDetailed(t, "mcf", 60000, DefaultConfig())
+	if r.Replays == 0 {
+		t.Error("a miss-heavy benchmark must trigger replays")
+	}
+	slow := runDetailed(t, "gzip", 60000, DefaultConfig().WithL1D([]int{5, 4, 4, 4}, -1, 4))
+	if slow.BypassStalls == 0 || slow.L1DSlowHits == 0 {
+		t.Error("a 5-cycle way must exercise the bypass buffers")
+	}
+}
+
+func TestDetailedStructuralLimits(t *testing.T) {
+	// Shrinking the ROB must cost cycles (occupancy is explicit here).
+	small := DefaultConfig()
+	small.ROB = 16
+	smallR := runDetailed(t, "swim", 60000, small)
+	bigR := runDetailed(t, "swim", 60000, DefaultConfig())
+	if smallR.CPI <= bigR.CPI {
+		t.Errorf("a 16-entry ROB should be slower than 256: %v vs %v", smallR.CPI, bigR.CPI)
+	}
+}

@@ -1,0 +1,256 @@
+package cpu
+
+import (
+	"testing"
+
+	"yieldcache/internal/workload"
+)
+
+func runBench(t *testing.T, name string, n int, cfg Config) Result {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return Run(workload.NewGenerator(p, 1), n, cfg)
+}
+
+func TestRunBasics(t *testing.T) {
+	r := runBench(t, "gzip", 50000, DefaultConfig())
+	if r.Instructions != 50000 {
+		t.Fatalf("instructions = %d", r.Instructions)
+	}
+	if r.Cycles == 0 || r.CPI <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	// A 4-wide machine cannot beat 0.25 CPI and a sane run of gzip should
+	// stay well under 10.
+	if r.CPI < 0.25 || r.CPI > 10 {
+		t.Errorf("gzip CPI = %v, implausible", r.CPI)
+	}
+	if r.L1DAccesses == 0 || r.Mispredicts == 0 {
+		t.Error("memory or branch activity missing")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := runBench(t, "vpr", 30000, DefaultConfig())
+	b := runBench(t, "vpr", 30000, DefaultConfig())
+	if a != b {
+		t.Error("identical runs differ")
+	}
+}
+
+func TestSlowWayCostsCycles(t *testing.T) {
+	base := runBench(t, "gzip", 100000, DefaultConfig())
+	slow := runBench(t, "gzip", 100000, DefaultConfig().WithL1D([]int{5, 4, 4, 4}, -1, 4))
+	if slow.CPI <= base.CPI {
+		t.Errorf("a 5-cycle way should cost cycles: %v vs %v", slow.CPI, base.CPI)
+	}
+	if slow.L1DSlowHits == 0 {
+		t.Error("no hits landed in the slow way")
+	}
+	if slow.BypassStalls <= base.BypassStalls {
+		t.Error("5-cycle hits should produce load-bypass stalls")
+	}
+	allSlow := runBench(t, "gzip", 100000, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 4))
+	if allSlow.CPI <= slow.CPI {
+		t.Error("four slow ways should cost more than one")
+	}
+}
+
+func TestDisabledWayCostsMisses(t *testing.T) {
+	base := runBench(t, "galgel", 100000, DefaultConfig())
+	way3 := runBench(t, "galgel", 100000, DefaultConfig().WithL1D([]int{0, 4, 4, 4}, -1, 4))
+	if way3.L1DMisses <= base.L1DMisses {
+		t.Error("losing a way should increase misses")
+	}
+	if way3.CPI <= base.CPI {
+		t.Error("losing a way should cost cycles")
+	}
+	// But the capacity cost must be mild (the Section 4.2 "2% budget"):
+	// under 10% CPI even for a cache-sensitive benchmark.
+	if way3.CPI/base.CPI > 1.10 {
+		t.Errorf("one-way shutdown cost %.1f%%, implausibly high",
+			(way3.CPI/base.CPI-1)*100)
+	}
+}
+
+func TestNaiveBinningMatchesVACAUpperBound(t *testing.T) {
+	// VACA with one slow way must cost less than naively binning the
+	// whole cache at 5 cycles (Section 4.5 motivates VACA this way).
+	base := runBench(t, "perlbmk", 100000, DefaultConfig())
+	vaca := runBench(t, "perlbmk", 100000, DefaultConfig().WithL1D([]int{5, 4, 4, 4}, -1, 4))
+	naive := runBench(t, "perlbmk", 100000, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 5))
+	if !(base.CPI < vaca.CPI && vaca.CPI < naive.CPI) {
+		t.Errorf("ordering violated: base %v, vaca %v, naive %v", base.CPI, vaca.CPI, naive.CPI)
+	}
+	// The naive machine expects 5 cycles, so its loads are never "late":
+	// no bypass stalls from cache hits.
+	if naive.Replays > base.Replays*2 {
+		t.Errorf("naive binning should not replay more: %d vs %d", naive.Replays, base.Replays)
+	}
+}
+
+func TestSixCycleBinWorseThanFive(t *testing.T) {
+	five := runBench(t, "crafty", 100000, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 5))
+	six := runBench(t, "crafty", 100000, DefaultConfig().WithL1D([]int{6, 6, 6, 6}, -1, 6))
+	if six.CPI <= five.CPI {
+		t.Errorf("6-cycle bin (%v) should cost more than 5-cycle (%v)", six.CPI, five.CPI)
+	}
+}
+
+func TestHRegionConfigRuns(t *testing.T) {
+	base := runBench(t, "gcc", 100000, DefaultConfig())
+	hoff := runBench(t, "gcc", 100000, DefaultConfig().WithL1D(nil, 2, 4))
+	if hoff.CPI <= base.CPI {
+		t.Error("losing a horizontal region should cost cycles")
+	}
+	way3 := runBench(t, "gcc", 100000, DefaultConfig().WithL1D([]int{0, 4, 4, 4}, -1, 4))
+	// H-YAPD and YAPD have identical hit/miss behaviour (Section 4.2):
+	// CPIs should be close (not identical: different ways get excluded).
+	ratio := hoff.CPI / way3.CPI
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("h-region vs way shutdown CPI ratio = %v, want ~1 (same associativity)", ratio)
+	}
+}
+
+func TestMemoryBoundVsComputeBoundSensitivity(t *testing.T) {
+	// eon (compute-bound, load-latency-sensitive) must suffer more from
+	// +1 cycle loads than mcf (memory-bound, dominated by DRAM time) in
+	// relative terms — the spread Figures 9 and 10 show.
+	dFor := func(name string) float64 {
+		base := runBench(t, name, 150000, DefaultConfig())
+		slow := runBench(t, name, 150000, DefaultConfig().WithL1D([]int{5, 5, 5, 5}, -1, 5))
+		return slow.CPI/base.CPI - 1
+	}
+	if dEon, dMcf := dFor("eon"), dFor("mcf"); dEon < 2*dMcf {
+		t.Errorf("eon (+%v) should be far more latency-sensitive than mcf (+%v)", dEon, dMcf)
+	}
+}
+
+func TestMispredictsCostCycles(t *testing.T) {
+	p, _ := workload.ByName("vpr")
+	noMiss := p
+	noMiss.MispredictRate = 0
+	cfg := DefaultConfig()
+	with := Run(workload.NewGenerator(p, 2), 100000, cfg)
+	without := Run(workload.NewGenerator(noMiss, 2), 100000, cfg)
+	if with.Mispredicts == 0 || without.Mispredicts != 0 {
+		t.Fatal("mispredict counting wrong")
+	}
+	if with.CPI <= without.CPI {
+		t.Error("mispredicts should cost cycles")
+	}
+}
+
+func TestICacheFootprintCosts(t *testing.T) {
+	p, _ := workload.ByName("gzip") // 8KB code: fits the 16KB L1I
+	big := p
+	big.CodeKB = 256
+	small := Run(workload.NewGenerator(p, 3), 100000, DefaultConfig())
+	large := Run(workload.NewGenerator(big, 3), 100000, DefaultConfig())
+	if large.L1IMisses <= small.L1IMisses {
+		t.Error("big code footprint should miss the I-cache more")
+	}
+	if large.CPI <= small.CPI {
+		t.Error("I-cache misses should cost cycles")
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	r := runBench(t, "eon", 100000, DefaultConfig())
+	if r.Forwards == 0 {
+		t.Error("store-to-load forwarding never triggered")
+	}
+}
+
+func TestBypassDepthTwoCoversSixCycleWays(t *testing.T) {
+	// The paper's rejected extension: 2-entry buffers make 6-cycle ways
+	// tolerable. With depth 1, a 6-cycle way triggers replays; with
+	// depth 2 those turn into buffered stalls.
+	cfg1 := DefaultConfig().WithL1D([]int{6, 4, 4, 4}, -1, 4)
+	cfg2 := cfg1
+	cfg2.BypassEntries = 2
+	r1 := runBench(t, "gap", 100000, cfg1)
+	r2 := runBench(t, "gap", 100000, cfg2)
+	if r2.Replays >= r1.Replays {
+		t.Errorf("deeper buffers should cut replays: %d vs %d", r2.Replays, r1.Replays)
+	}
+	if r2.CPI >= r1.CPI {
+		t.Errorf("deeper buffers should recover cycles: %v vs %v", r2.CPI, r1.CPI)
+	}
+}
+
+func TestSlotAlloc(t *testing.T) {
+	s := slotAlloc{width: 2}
+	if s.next(5) != 5 || s.next(5) != 5 {
+		t.Error("two slots should fit in cycle 5")
+	}
+	if s.next(5) != 6 {
+		t.Error("third request should spill to cycle 6")
+	}
+	if s.next(10) != 10 {
+		t.Error("later request should jump forward")
+	}
+	if s.next(3) != 10 {
+		t.Error("requests never go back in time")
+	}
+}
+
+func TestAcquireUnit(t *testing.T) {
+	units := []int64{0, 0}
+	if acquireUnit(units, 10, 1) != 10 {
+		t.Error("free unit should start immediately")
+	}
+	if acquireUnit(units, 10, 1) != 10 {
+		t.Error("second unit free")
+	}
+	if acquireUnit(units, 10, 1) != 11 {
+		t.Error("both busy: start should defer")
+	}
+}
+
+func TestProducerIndexing(t *testing.T) {
+	if producer(100, 0) != -1 || producer(100, lookback+1) != -1 {
+		t.Error("out-of-window distances should be -1")
+	}
+	if producer(5, 10) != -1 {
+		t.Error("pre-start producers should be -1")
+	}
+	if producer(100, 3) != 97 {
+		t.Errorf("producer(100,3) = %d", producer(100, 3))
+	}
+}
+
+func TestNextLinePrefetchHelpsStreams(t *testing.T) {
+	// swim is stream-dominated: a next-line prefetcher should cut its
+	// demand miss rate and CPI substantially.
+	cfg := DefaultConfig()
+	base := runBench(t, "swim", 150000, cfg)
+	cfg.NextLinePrefetch = true
+	pf := runBench(t, "swim", 150000, cfg)
+	if pf.L1DMisses >= base.L1DMisses {
+		t.Errorf("prefetching did not cut misses: %d vs %d", pf.L1DMisses, base.L1DMisses)
+	}
+	if pf.CPI >= base.CPI {
+		t.Errorf("prefetching did not cut CPI: %v vs %v", pf.CPI, base.CPI)
+	}
+}
+
+func TestPrefetchDoesNotPolluteDemandStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NextLinePrefetch = true
+	r := runBench(t, "gzip", 100000, cfg)
+	if r.L1DAccesses == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	// Demand accesses must match the number of loads+stores that reached
+	// the cache (i.e. be no larger than total memory ops).
+	p, _ := workload.ByName("gzip")
+	maxMemOps := uint64(float64(100000) * (p.LoadFrac + p.StoreFrac) * 1.1)
+	if r.L1DAccesses > maxMemOps {
+		t.Errorf("demand accesses %d exceed plausible memory ops %d (prefetches leaked into stats)",
+			r.L1DAccesses, maxMemOps)
+	}
+}

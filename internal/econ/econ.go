@@ -1,0 +1,110 @@
+// Package econ turns yields into money. The paper's motivation is
+// economic — "every discarded chip increases the cost of those chips
+// that survive" — and this package quantifies it: given a wafer cost, a
+// die count, the non-parametric (defect + lithography) yield and a
+// pricing curve for performance-degraded parts, it computes cost per
+// sellable die and revenue per wafer for each yield-aware scheme.
+package econ
+
+import "fmt"
+
+// CostModel describes the manufacturing economics.
+type CostModel struct {
+	WaferCost    float64 // fabrication cost per wafer
+	DiesPerWafer int     // gross dies per wafer
+	// FunctionalYield is the non-parametric component (defect density +
+	// lithography); parametric yield multiplies it.
+	FunctionalYield float64
+	// FullPrice is the selling price of a full-spec part. Degraded parts
+	// (saved by a scheme at some CPI cost) sell at
+	// FullPrice * (1 - PriceSlope * CPIloss%), floored at MinPriceFrac.
+	FullPrice    float64
+	PriceSlope   float64
+	MinPriceFrac float64
+}
+
+// Default45nm returns a plausible cost model for a 45 nm part: a $4000
+// wafer with 600 gross dies, 85% functional yield, $60 full-spec parts,
+// and 3% price loss per 1% CPI degradation (performance parts price
+// roughly on benchmark scores), floored at half price.
+func Default45nm() CostModel {
+	return CostModel{
+		WaferCost:       4000,
+		DiesPerWafer:    600,
+		FunctionalYield: 0.85,
+		FullPrice:       60,
+		PriceSlope:      0.03,
+		MinPriceFrac:    0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (m CostModel) Validate() error {
+	if m.WaferCost <= 0 || m.DiesPerWafer <= 0 || m.FullPrice <= 0 {
+		return fmt.Errorf("econ: non-positive cost model values")
+	}
+	if m.FunctionalYield <= 0 || m.FunctionalYield > 1 {
+		return fmt.Errorf("econ: functional yield %v outside (0, 1]", m.FunctionalYield)
+	}
+	if m.MinPriceFrac < 0 || m.MinPriceFrac > 1 {
+		return fmt.Errorf("econ: minimum price fraction %v outside [0, 1]", m.MinPriceFrac)
+	}
+	return nil
+}
+
+// UnitPrice returns the selling price of a part with the given CPI
+// degradation (percent).
+func (m CostModel) UnitPrice(cpiLossPct float64) float64 {
+	if cpiLossPct < 0 {
+		cpiLossPct = 0
+	}
+	frac := 1 - m.PriceSlope*cpiLossPct
+	if frac < m.MinPriceFrac {
+		frac = m.MinPriceFrac
+	}
+	return m.FullPrice * frac
+}
+
+// Bin is a population of sellable parts at one degradation level,
+// expressed as a fraction of the parametric-test population.
+type Bin struct {
+	Fraction   float64 // of all parametrically tested dies
+	CPILossPct float64
+}
+
+// Result summarises the economics of one scheme.
+type Result struct {
+	Scheme string
+	// SellableFraction is the parametric yield (sum of bin fractions).
+	SellableFraction float64
+	// DiesPerWafer is the expected sellable dies per wafer after both
+	// functional and parametric yield.
+	DiesPerWafer float64
+	// RevenuePerWafer and CostPerDie price the outcome.
+	RevenuePerWafer float64
+	CostPerDie      float64
+}
+
+// Evaluate prices a scheme described by its sellable bins.
+func (m CostModel) Evaluate(scheme string, bins []Bin) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := Result{Scheme: scheme}
+	gross := float64(m.DiesPerWafer) * m.FunctionalYield
+	for _, b := range bins {
+		if b.Fraction < 0 {
+			return Result{}, fmt.Errorf("econ: negative bin fraction in %s", scheme)
+		}
+		r.SellableFraction += b.Fraction
+		r.RevenuePerWafer += gross * b.Fraction * m.UnitPrice(b.CPILossPct)
+	}
+	if r.SellableFraction > 1+1e-9 {
+		return Result{}, fmt.Errorf("econ: %s sells %.3f of the population", scheme, r.SellableFraction)
+	}
+	r.DiesPerWafer = gross * r.SellableFraction
+	if r.DiesPerWafer > 0 {
+		r.CostPerDie = m.WaferCost / r.DiesPerWafer
+	}
+	return r, nil
+}

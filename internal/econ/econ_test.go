@@ -1,0 +1,124 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	m := Default45nm()
+	m.WaferCost = 0
+	if m.Validate() == nil {
+		t.Error("zero wafer cost accepted")
+	}
+	m = Default45nm()
+	m.FunctionalYield = 1.2
+	if m.Validate() == nil {
+		t.Error("yield > 1 accepted")
+	}
+	m = Default45nm()
+	m.MinPriceFrac = -0.1
+	if m.Validate() == nil {
+		t.Error("negative price floor accepted")
+	}
+}
+
+func TestUnitPrice(t *testing.T) {
+	m := Default45nm()
+	if p := m.UnitPrice(0); p != m.FullPrice {
+		t.Errorf("full-spec price = %v", p)
+	}
+	// 1% CPI loss at 3%/1% slope: 97% of full price.
+	if p := m.UnitPrice(1); math.Abs(p-0.97*m.FullPrice) > 1e-9 {
+		t.Errorf("1%% degraded price = %v", p)
+	}
+	// Floor: huge degradation still sells at half price.
+	if p := m.UnitPrice(100); p != m.MinPriceFrac*m.FullPrice {
+		t.Errorf("floored price = %v", p)
+	}
+	// Negative degradation clamps to full price.
+	if p := m.UnitPrice(-5); p != m.FullPrice {
+		t.Errorf("negative degradation price = %v", p)
+	}
+}
+
+func TestEvaluateBaseVsScheme(t *testing.T) {
+	m := Default45nm()
+	// Base: 83% sellable at full spec.
+	base, err := m.Evaluate("base", []Bin{{Fraction: 0.83}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hybrid: same 83% plus 14% degraded ~1.8%.
+	hybrid, err := m.Evaluate("hybrid", []Bin{{Fraction: 0.83}, {Fraction: 0.14, CPILossPct: 1.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.RevenuePerWafer <= base.RevenuePerWafer {
+		t.Error("saving chips must raise wafer revenue")
+	}
+	if hybrid.CostPerDie >= base.CostPerDie {
+		t.Error("saving chips must cut cost per sellable die")
+	}
+	wantDies := 600 * 0.85 * 0.97
+	if math.Abs(hybrid.DiesPerWafer-wantDies) > 1e-9 {
+		t.Errorf("dies per wafer = %v, want %v", hybrid.DiesPerWafer, wantDies)
+	}
+	// Revenue accounting: full bins at $60, degraded at 60*(1-0.054).
+	wantRev := 600 * 0.85 * (0.83*60 + 0.14*60*(1-0.03*1.8))
+	if math.Abs(hybrid.RevenuePerWafer-wantRev) > 1e-6 {
+		t.Errorf("revenue = %v, want %v", hybrid.RevenuePerWafer, wantRev)
+	}
+}
+
+func TestEvaluateRejectsNonsense(t *testing.T) {
+	m := Default45nm()
+	if _, err := m.Evaluate("x", []Bin{{Fraction: -0.1}}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := m.Evaluate("x", []Bin{{Fraction: 0.7}, {Fraction: 0.7}}); err == nil {
+		t.Error("fractions summing over 1 accepted")
+	}
+	bad := m
+	bad.DiesPerWafer = 0
+	if _, err := bad.Evaluate("x", nil); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestEvaluateEmptyBins(t *testing.T) {
+	r, err := Default45nm().Evaluate("dead", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DiesPerWafer != 0 || r.RevenuePerWafer != 0 || r.CostPerDie != 0 {
+		t.Errorf("empty bins should price to zero: %+v", r)
+	}
+}
+
+// Property: revenue is monotone in bin fraction and antitone in
+// degradation.
+func TestEvaluateMonotonicityProperty(t *testing.T) {
+	m := Default45nm()
+	f := func(fr, loss uint8) bool {
+		f1 := float64(fr%90) / 100
+		l1 := float64(loss % 30)
+		a, err1 := m.Evaluate("a", []Bin{{Fraction: f1, CPILossPct: l1}})
+		b, err2 := m.Evaluate("b", []Bin{{Fraction: f1 + 0.05, CPILossPct: l1}})
+		c, err3 := m.Evaluate("c", []Bin{{Fraction: f1, CPILossPct: l1 + 5}})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return b.RevenuePerWafer >= a.RevenuePerWafer && c.RevenuePerWafer <= a.RevenuePerWafer
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

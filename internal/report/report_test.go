@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Table X", "Reason", "#Chips", "YAPD")
+	tb.AddRow("Leakage Constraint", 138, 33)
+	tb.AddRow("Total", 339, 108)
+	s := tb.String()
+	if !strings.Contains(s, "Table X") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width does not match header")
+	}
+	if !strings.Contains(lines[3], "138") || !strings.Contains(lines[3], "33") {
+		t.Error("row values missing")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1.081)
+	if !strings.Contains(tb.String(), "1.08") {
+		t.Errorf("float not formatted to 2 decimals:\n%s", tb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x,y", 2)
+	tb.AddRow(`q"q`, 3)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,y",2` {
+		t.Errorf("comma escaping wrong: %q", lines[1])
+	}
+	if lines[2] != `"q""q",3` {
+		t.Errorf("quote escaping wrong: %q", lines[2])
+	}
+}
+
+func TestScatterPlacesPoints(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Glyph: 'a'},
+		{X: 10, Y: 10, Glyph: 'b'},
+	}
+	s := Scatter("fig", "x", "y", pts, 20, 10)
+	lines := strings.Split(s, "\n")
+	// Bottom-left 'a', top-right 'b'.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("grid has %d rows", len(gridLines))
+	}
+	if gridLines[0][len(gridLines[0])-2] != 'b' {
+		t.Errorf("top-right should be 'b': %q", gridLines[0])
+	}
+	if gridLines[9][1] != 'a' {
+		t.Errorf("bottom-left should be 'a': %q", gridLines[9])
+	}
+	if !strings.Contains(s, "(0 .. 10)") {
+		t.Error("axis ranges missing")
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if s := Scatter("t", "x", "y", nil, 20, 10); !strings.Contains(s, "no data") {
+		t.Error("empty scatter should say so")
+	}
+	// Constant data must not divide by zero.
+	s := Scatter("t", "x", "y", []Point{{X: 1, Y: 1}}, 20, 10)
+	if !strings.Contains(s, "*") {
+		t.Error("single constant point missing")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("fig9", []string{"gzip", "mcf"}, []float64{1.0, 8.0}, 8.0, 40)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	gzipBars := strings.Count(lines[1], "#")
+	mcfBars := strings.Count(lines[2], "#")
+	if mcfBars != 40 {
+		t.Errorf("full-scale bar should be 40 wide, got %d", mcfBars)
+	}
+	if gzipBars != 5 {
+		t.Errorf("1/8 scale bar should be 5 wide, got %d", gzipBars)
+	}
+	// Negative and over-scale values are clipped, not crashed.
+	s2 := Series("x", []string{"a", "b"}, []float64{-1, 100}, 8, 40)
+	if !strings.Contains(s2, "-1.00") {
+		t.Error("negative value not printed")
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one sample of a 2-D scatter plot.
+type Point struct {
+	X, Y  float64
+	Glyph rune // optional per-point glyph; 0 means '*'
+}
+
+// Scatter renders points into a width x height character grid with axis
+// labels — the textual form of Figure 8. When several points land in one
+// cell, the glyph of the last one wins.
+func Scatter(title, xLabel, yLabel string, pts []Point, width, height int) string {
+	if width < 8 || height < 4 || len(pts) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		x := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+		y := int(float64(height-1) * (p.Y - minY) / (maxY - minY))
+		g := p.Glyph
+		if g == 0 {
+			g = '*'
+		}
+		grid[height-1-y][x] = g
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s (%.3g .. %.3g)\n", yLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s (%.3g .. %.3g)\n", xLabel, minX, maxX)
+	return b.String()
+}
+
+// Series renders a labelled bar per (label, value) pair — the textual
+// form of the per-benchmark bar charts of Figures 9 and 10. scale is the
+// value corresponding to a full-width bar; bars are clipped there.
+func Series(title string, labels []string, values []float64, scale float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, l := range labels {
+		v := values[i]
+		n := 0
+		if scale > 0 {
+			n = int(v / scale * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "%-*s %6.2f |%s\n", labW, l, v, strings.Repeat("#", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+// Package sram models the 16 KB 4-way set-associative L1 data cache of
+// Section 3: each way is divided into 4 banks of 64x128 bits, bitlines
+// are partitioned in two, and the access path follows the
+// Amrutur–Horowitz organisation (address bus -> predecode/decode ->
+// global word line -> local word line -> bitline/cell -> sense amplifier
+// -> output drive). The package evaluates, for one sampled chip, the
+// access latency of every representative critical path and the leakage
+// power of every bank, which is everything the yield schemes consume.
+package sram
+
+import "yieldcache/internal/circuit"
+
+// Geometry describes the cache organisation of the paper's model.
+type Geometry struct {
+	Ways         int // set-associative ways, laid out on a 2x2 mesh
+	BanksPerWay  int // banks stacked per way; also the horizontal regions
+	RowsPerBank  int
+	BitsPerRow   int
+	PathsPerBank int // representative critical/near-critical rows modelled per bank
+}
+
+// Paper16KB returns the geometry of the paper's 16 KB cache:
+// 4 ways x 4 banks x (64 rows x 128 bits).
+func Paper16KB() Geometry {
+	return Geometry{
+		Ways:         4,
+		BanksPerWay:  4,
+		RowsPerBank:  64,
+		BitsPerRow:   128,
+		PathsPerBank: 4,
+	}
+}
+
+// CellsPerBank returns the number of SRAM cells in one bank.
+func (g Geometry) CellsPerBank() int { return g.RowsPerBank * g.BitsPerRow }
+
+// CellsPerWay returns the number of SRAM cells in one way.
+func (g Geometry) CellsPerWay() int { return g.BanksPerWay * g.CellsPerBank() }
+
+// NominalStages returns the nominal (variation-free) stage delays of one
+// access path, in picoseconds, calibrated to a ~500 ps 16 KB SRAM at
+// 45 nm. distFrac in [0,1] is the fractional routing distance of the
+// addressed row from the decoder (bank position and row position
+// combined): further rows see longer global word-line routing, which is
+// why the upper-most row of a bank is the critical path and mid-bank rows
+// are near-critical, exactly the structure H-YAPD exploits.
+func NominalStages(distFrac float64) []circuit.Stage {
+	return []circuit.Stage{
+		{Name: "addr-bus", Kind: circuit.WireStage, NominalPS: 30},
+		{Name: "decode", Kind: circuit.GateStage, NominalPS: 85},
+		{Name: "global-wl", Kind: circuit.WireStage, NominalPS: 60 * (0.15 + 0.85*distFrac)},
+		{Name: "local-wl", Kind: circuit.DrivenWireStage, NominalPS: 65},
+		{Name: "bitline", Kind: circuit.BitlineStage, NominalPS: 150},
+		{Name: "sense", Kind: circuit.GateStage, NominalPS: 70},
+		{Name: "output", Kind: circuit.DrivenWireStage, NominalPS: 60},
+	}
+}

@@ -1,0 +1,262 @@
+package sram
+
+import (
+	"yieldcache/internal/circuit"
+	"yieldcache/internal/variation"
+)
+
+// Block labels for the circuit blocks that receive independent (but
+// spatially correlated) variation draws, matching the paper's list:
+// "the decoder, pre-charge circuits, memory cell arrays, sense amplifiers
+// and output drivers". The decoder and output drivers are way-level
+// structures; precharge and sense amplifiers exist per bank.
+const (
+	blockDecoder  = 0
+	blockOutput   = 1
+	blockPreBase  = 200 // + bank index: the bank's precharge circuits
+	blockSenseAmp = 300 // + bank index: the bank's sense amplifiers
+)
+
+// HYAPDLatencyPenalty is the average access-latency increase of the
+// H-YAPD decoder organisation measured by the paper's HSPICE simulations
+// (Section 4.2: "a 2.5% increase in the access latencies on average").
+const HYAPDLatencyPenalty = 1.025
+
+// senseOffsetScale converts the sampled sense-amp pair mismatch (a
+// full-range independent Vt deviation) into the margin-eating offset.
+// The pair's differential offset is larger than a single device's random
+// component, and the slowest of the bank's many amplifiers governs.
+const senseOffsetScale = 2.8
+
+// replicaTracking is the fraction of the chip-common process deviation
+// that the replica-bitline sense-timing circuit compensates; the residue
+// still erodes sense margin on globally slow chips.
+const replicaTracking = 0.50
+
+// bandFactor is the correlation factor of a horizontal band (one row
+// region at a fixed die y-coordinate, spanning all ways) relative to the
+// chip. Spatial correlation is location-dependent (Section 2): the same
+// row range of different ways sits at the same vertical position, so all
+// ways see nearly the same band parameters — this is exactly the
+// "either all the upper-most rows or all the middle rows violate"
+// behaviour that motivates H-YAPD (Section 4.2). The paper does not
+// publish this factor; it sits between the row factor (0.05) and the
+// way factors (0.375..0.7125).
+const bandFactor = 0.50
+
+// Model evaluates sampled chips into cache measurements.
+type Model struct {
+	Tech circuit.Tech
+	Geom Geometry
+	// HYAPD selects the horizontal-power-down decoder organisation,
+	// which costs HYAPDLatencyPenalty on every access path.
+	HYAPD bool
+}
+
+// NewModel returns a model of the paper's 16 KB cache on the given
+// technology.
+func NewModel(tech circuit.Tech, hyapd bool) *Model {
+	return &Model{Tech: tech, Geom: Paper16KB(), HYAPD: hyapd}
+}
+
+// PathMeasurement is the evaluated delay of one representative critical
+// path (one row position of one bank).
+type PathMeasurement struct {
+	Bank, Slot int
+	DelayPS    float64
+}
+
+// BankMeasurement aggregates one bank of one way.
+type BankMeasurement struct {
+	Paths      []PathMeasurement
+	MaxPS      float64 // slowest path through this bank
+	ArrayLeakW float64 // leakage of this bank's cell array
+}
+
+// WayMeasurement aggregates one way.
+type WayMeasurement struct {
+	Banks       []BankMeasurement
+	PeriphLeakW float64 // decoder/precharge/sense/driver leakage (not removable by H-YAPD)
+	LatencyPS   float64 // slowest path through the way
+	LeakageW    float64 // array + periphery
+}
+
+// CacheMeasurement is the full evaluation of one sampled chip's cache.
+type CacheMeasurement struct {
+	Ways      []WayMeasurement
+	LatencyPS float64 // slowest way (the cache access latency of Section 5.1)
+	LeakageW  float64 // sum over ways
+}
+
+// Measure evaluates the cache on the chip described by the variation
+// root node. The correlation structure follows Sections 2-3: ways on the
+// 2x2 mesh; horizontal bands (row regions) drawn at chip level and
+// shared by all ways because they sit at the same die y-coordinate;
+// per-bank circuit blocks at the block factor; one row draw per
+// representative path.
+func (m *Model) Measure(chip *variation.Node) CacheMeasurement {
+	// Horizontal bands: one per (bank, path slot), common to all ways.
+	// Each bank also has an aggregate band node whose leakage state is
+	// shared by the same physical rows of every way — horizontal regions
+	// run hot or cold together, which is what lets H-YAPD excise the
+	// hottest region of all four ways at once.
+	bands := make([]*variation.Node, m.Geom.BanksPerWay*m.Geom.PathsPerBank)
+	for i := range bands {
+		bands[i] = chip.Child(bandFactor, int64(5000+i))
+	}
+	bankBands := make([]*variation.Node, m.Geom.BanksPerWay)
+	for b := range bankBands {
+		bankBands[b] = chip.Child(bandFactor, int64(6000+b))
+	}
+	cm := CacheMeasurement{Ways: make([]WayMeasurement, m.Geom.Ways)}
+	for w := 0; w < m.Geom.Ways; w++ {
+		cm.Ways[w] = m.measureWay(chip, chip.Way(w), bands, bankBands, w)
+		if cm.Ways[w].LatencyPS > cm.LatencyPS {
+			cm.LatencyPS = cm.Ways[w].LatencyPS
+		}
+		cm.LeakageW += cm.Ways[w].LeakageW
+	}
+	return cm
+}
+
+func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variation.Node, wayIdx int) WayMeasurement {
+	t := m.Tech
+	chipDev := circuit.DeviceFrom(chip)
+	dec := way.Block(blockDecoder)
+	out := way.Block(blockOutput)
+
+	decDev, decWire := circuit.DeviceFrom(dec), circuit.WireFrom(dec)
+	outDev, outWire := circuit.DeviceFrom(out), circuit.WireFrom(out)
+
+	wm := WayMeasurement{Banks: make([]BankMeasurement, m.Geom.BanksPerWay)}
+	totalRows := float64(m.Geom.BanksPerWay * m.Geom.RowsPerBank)
+
+	periphLeakSum := decDev.LeakageFactor(t) + outDev.LeakageFactor(t)
+	periphBlocks := 2.0
+	var arrayLeakTotal float64
+
+	for b := 0; b < m.Geom.BanksPerWay; b++ {
+		pre := way.Block(int64(blockPreBase + b))
+		sa := way.Block(int64(blockSenseAmp + b))
+		preWire := circuit.WireFrom(pre)
+		saDev := circuit.DeviceFrom(sa)
+		periphLeakSum += (circuit.DeviceFrom(pre).LeakageFactor(t) + saDev.LeakageFactor(t)) /
+			float64(m.Geom.BanksPerWay)
+		periphBlocks += 2.0 / float64(m.Geom.BanksPerWay)
+
+		// Sense-amplifier signal margin erodes from two sources: random
+		// within-die mismatch between the two devices of the pair (dopant
+		// fluctuation, uncorrelated across banks and ways — a factor-1.0
+		// child captures exactly that: an independent full-range deviation
+		// around the bank's systematic value; offset eats margin whichever
+		// side it lands on, so it enters as |ΔVt|) and, at half weight,
+		// the bank's systematic sense-amp weakness.
+		mmNode := sa.Child(1.0, 9000)
+		offset := mmNode.Values[variation.Vt]/1000 - saDev.VtV
+		if offset < 0 {
+			offset = -offset
+		}
+
+		bm := BankMeasurement{Paths: make([]PathMeasurement, m.Geom.PathsPerBank)}
+		var bankLeakSum float64
+		for p := 0; p < m.Geom.PathsPerBank; p++ {
+			band := bands[b*m.Geom.PathsPerBank+p]
+			// This way's instance of the band's rows: nearly identical to
+			// the band (row factor) but distinguishable per way.
+			row := band.Row(int64(wayIdx))
+			cellDev := circuit.DeviceFrom(row)
+			cellWire := circuit.WireFrom(row)
+			bankLeakSum += cellDev.LeakageFactor(t)
+
+			// The sense clock is generated by a replica bitline that
+			// tracks (imperfectly — replicaTracking of it) the chip's
+			// common process corner, so the margin is eaten mostly by
+			// *local deviations from that corner*: the amp's random pair
+			// offset, half the amp's systematic deviation, and the full
+			// deviation of this row's cell (the device that develops the
+			// differential). The cell deviation comes from the chip-level
+			// horizontal band, so it is shared by the same row region of
+			// every way — weak bands slow all ways together, which is
+			// exactly the failure mode H-YAPD excises (Section 4.2).
+			resid := 1 - replicaTracking
+			saEff := circuit.Device{
+				DLeff: 0.5*(saDev.DLeff-chipDev.DLeff) + (cellDev.DLeff - chipDev.DLeff) +
+					resid*chipDev.DLeff,
+				VtV: t.VtNominal + senseOffsetScale*offset +
+					0.5*(saDev.VtV-chipDev.VtV) + (cellDev.VtV - chipDev.VtV) +
+					resid*(chipDev.VtV-t.VtNominal),
+			}
+			margin := circuit.SenseMargin(t, saEff)
+
+			rowIdx := p * m.Geom.RowsPerBank / m.Geom.PathsPerBank
+			distFrac := (float64(b*m.Geom.RowsPerBank) + float64(rowIdx) + 0.5) / totalRows
+			delay := 0.0
+			for _, s := range NominalStages(distFrac) {
+				var d float64
+				switch s.Name {
+				case "addr-bus", "decode", "global-wl":
+					d = s.Eval(t, decDev, decWire)
+				case "local-wl":
+					d = s.Eval(t, cellDev, cellWire)
+				case "bitline":
+					d = s.Eval(t, cellDev, preWire) * margin
+				case "sense":
+					d = s.Eval(t, saDev, preWire) * margin
+				case "output":
+					d = s.Eval(t, outDev, outWire)
+				default:
+					d = s.Eval(t, cellDev, cellWire)
+				}
+				delay += d
+			}
+			if m.HYAPD {
+				delay *= HYAPDLatencyPenalty
+			}
+			bm.Paths[p] = PathMeasurement{Bank: b, Slot: p, DelayPS: delay}
+			if delay > bm.MaxPS {
+				bm.MaxPS = delay
+			}
+		}
+		// Array leakage: the bank-band aggregate (shared across ways)
+		// carries most of the weight; the per-path rows add this way's
+		// local contribution.
+		bandLeak := circuit.DeviceFrom(bankBands[b].Row(int64(wayIdx))).LeakageFactor(t)
+		slotLeak := bankLeakSum / float64(m.Geom.PathsPerBank)
+		bm.ArrayLeakW = t.CellLeakage * float64(m.Geom.CellsPerBank()) *
+			(0.7*bandLeak + 0.3*slotLeak)
+		arrayLeakTotal += bm.ArrayLeakW
+		wm.Banks[b] = bm
+		if bm.MaxPS > wm.LatencyPS {
+			wm.LatencyPS = bm.MaxPS
+		}
+	}
+
+	wm.PeriphLeakW = t.PeripheryLeakFrac * t.CellLeakage *
+		float64(m.Geom.CellsPerWay()) * periphLeakSum / periphBlocks
+	wm.LeakageW = arrayLeakTotal + wm.PeriphLeakW
+	return wm
+}
+
+// LatencyWithoutBank returns the way's slowest path when physical bank b
+// (one horizontal region) is disabled. Used by the H-YAPD scheme.
+func (w WayMeasurement) LatencyWithoutBank(b int) float64 {
+	max := 0.0
+	for i, bm := range w.Banks {
+		if i == b {
+			continue
+		}
+		if bm.MaxPS > max {
+			max = bm.MaxPS
+		}
+	}
+	return max
+}
+
+// LeakageWithoutBank returns the way's leakage when physical bank b is
+// disabled. Only the bank's cell array is removed: the paper notes that
+// with horizontal power-down "some parts of the decoder as well as
+// pre-charge and sense amplifier circuits cannot be turned off
+// completely", so the periphery keeps leaking.
+func (w WayMeasurement) LeakageWithoutBank(b int) float64 {
+	return w.LeakageW - w.Banks[b].ArrayLeakW
+}

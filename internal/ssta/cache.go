@@ -1,0 +1,120 @@
+package ssta
+
+import (
+	"math"
+
+	"yieldcache/internal/circuit"
+	"yieldcache/internal/sram"
+	"yieldcache/internal/variation"
+)
+
+// CacheAnalysis is the SSTA view of the cache's access latency.
+type CacheAnalysis struct {
+	// Ways holds each way's canonical latency (max over its paths).
+	Ways []Canonical
+	// Latency is the cache-level canonical (max over ways).
+	Latency Canonical
+}
+
+// localFactor aggregates the sub-chip correlation factors into the
+// single independent-random weight the first-order model can carry: the
+// way mesh factors (≈0.5 on average), the block factor and the band
+// factor stack roughly in quadrature. Everything the Monte Carlo model
+// resolves spatially (which rows share a band, which bank owns a sense
+// amp) is flattened here — that flattening is part of the accuracy gap
+// this package exists to measure.
+const localFactor = 0.62
+
+// AnalyzeCache linearises the circuit model around the nominal corner
+// and propagates the Table 1 variation through the cache's path forest:
+// each representative path becomes a canonical form whose shared
+// sensitivities come from finite differences of the path delay with
+// respect to the five chip-common parameters, and whose independent
+// part carries the factor-scaled local variation. Ways and then the
+// cache fold up with Clark max.
+//
+// Two known underestimates, by construction: the sense-margin
+// amplification is linearised away (at the nominal corner its
+// derivative is zero), and sub-chip spatial structure is reduced to an
+// independent term. Both make the analytical tail lighter than the
+// Monte Carlo tail — the inaccuracy Section 2 attributes to analytical
+// approaches.
+func AnalyzeCache(tech circuit.Tech, spec variation.Spec, geom sram.Geometry, hyapd bool) CacheAnalysis {
+	totalRows := float64(geom.BanksPerWay * geom.RowsPerBank)
+	penalty := 1.0
+	if hyapd {
+		penalty = sram.HYAPDLatencyPenalty
+	}
+
+	// Per-path canonical builder.
+	buildPath := func(distFrac float64) Canonical {
+		nominal := pathDelay(tech, distFrac, circuit.Device{VtV: tech.VtNominal}, circuit.Wire{}) * penalty
+		c := New(nominal, int(variation.NumParams))
+		for p := variation.Param(0); p < variation.NumParams; p++ {
+			d := sensitivity(tech, spec, distFrac, p) * penalty
+			c.Sens[p] = d
+			c.Rand = hypot(c.Rand, d*localFactor)
+		}
+		return c
+	}
+
+	var ways []Canonical
+	for w := 0; w < geom.Ways; w++ {
+		var paths []Canonical
+		for b := 0; b < geom.BanksPerWay; b++ {
+			for s := 0; s < geom.PathsPerBank; s++ {
+				rowIdx := s * geom.RowsPerBank / geom.PathsPerBank
+				distFrac := (float64(b*geom.RowsPerBank) + float64(rowIdx) + 0.5) / totalRows
+				paths = append(paths, buildPath(distFrac))
+			}
+		}
+		ways = append(ways, MaxAll(paths))
+	}
+	return CacheAnalysis{Ways: ways, Latency: MaxAll(ways)}
+}
+
+// sensitivity returns the 1-sigma delay change of a path with respect
+// to one chip-common parameter, by central finite difference.
+func sensitivity(tech circuit.Tech, spec variation.Spec, distFrac float64, p variation.Param) float64 {
+	up := pathDelay(tech, distFrac, deviceAt(tech, spec, p, +1), wireAt(spec, p, +1))
+	dn := pathDelay(tech, distFrac, deviceAt(tech, spec, p, -1), wireAt(spec, p, -1))
+	return (up - dn) / 2
+}
+
+func deviceAt(tech circuit.Tech, spec variation.Spec, p variation.Param, dir float64) circuit.Device {
+	d := circuit.Device{VtV: tech.VtNominal}
+	switch p {
+	case variation.Leff:
+		d.DLeff = dir * spec.Sigma(variation.Leff) / spec.Nominal[variation.Leff]
+	case variation.Vt:
+		d.VtV += dir * spec.Sigma(variation.Vt) / 1000
+	}
+	return d
+}
+
+func wireAt(spec variation.Spec, p variation.Param, dir float64) circuit.Wire {
+	var w circuit.Wire
+	frac := func(q variation.Param) float64 { return dir * spec.Sigma(q) / spec.Nominal[q] }
+	switch p {
+	case variation.W:
+		w.DW = frac(variation.W)
+	case variation.T:
+		w.DT = frac(variation.T)
+	case variation.H:
+		w.DH = frac(variation.H)
+	}
+	return w
+}
+
+// pathDelay evaluates one access path with a single device/wire state
+// shared by all stages (the linearisation point does not resolve
+// per-block structure) and the nominal (unity) sense margin.
+func pathDelay(t circuit.Tech, distFrac float64, dev circuit.Device, wire circuit.Wire) float64 {
+	total := 0.0
+	for _, s := range sram.NominalStages(distFrac) {
+		total += s.Eval(t, dev, wire)
+	}
+	return total
+}
+
+func hypot(a, b float64) float64 { return math.Hypot(a, b) }

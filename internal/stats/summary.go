@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs
+// (sqrt of the mean squared deviation), or 0 for fewer than two samples.
+// The paper's delay constraint "mean + k*sigma" is computed over the full
+// Monte Carlo population, for which the population estimator is the
+// natural choice.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and the population standard deviation in
+// a single pass over the data.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var s, ss float64
+	for _, x := range xs {
+		s += x
+		ss += x * x
+	}
+	n := float64(len(xs))
+	mean = s / n
+	v := ss/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// Min returns the smallest element of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between order statistics. It panics on an empty
+// slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys. It returns 0 when either series is constant. It panics when the
+// slices have different lengths.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Correlation length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, sx := MeanStd(xs)
+	my, sy := MeanStd(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / (float64(len(xs)) * sx * sy)
+}
+
+// Normalize returns xs scaled so its mean is 1. A zero-mean series is
+// returned unchanged. Used for the "normalized leakage" axis of Figure 8.
+func Normalize(xs []float64) []float64 {
+	m := Mean(xs)
+	out := make([]float64, len(xs))
+	if m == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / m
+	}
+	return out
+}
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i); 0 when the weights sum
+// to zero. Table 6's bottom row is a weighted mean of per-configuration
+// CPI degradations weighted by saved-chip counts.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sw, sx float64
+	for i := range xs {
+		sw += ws[i]
+		sx += ws[i] * xs[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}

@@ -1,0 +1,98 @@
+package variation
+
+import "yieldcache/internal/stats"
+
+// Sampler draws correlated process-variation parameters for a population
+// of chips. Chip i's entire parameter tree is a deterministic function of
+// (seed, i), so populations are reproducible and independent of
+// evaluation order.
+type Sampler struct {
+	spec Spec
+	fact Factors
+	seed int64
+}
+
+// NewSampler returns a sampler for the given process spec, correlation
+// factors and master seed.
+func NewSampler(spec Spec, fact Factors, seed int64) *Sampler {
+	return &Sampler{spec: spec, fact: fact, seed: seed}
+}
+
+// Spec returns the process specification the sampler draws from.
+func (s *Sampler) Spec() Spec { return s.spec }
+
+// Factors returns the correlation factors in use.
+func (s *Sampler) Factors() Factors { return s.fact }
+
+// Chip returns the root variation node for chip id. The root draw covers
+// the combined inter-die and way-0 intra-die variation: parameters are
+// drawn around the Table 1 nominals inside the full 3-sigma window.
+func (s *Sampler) Chip(id int) *Node {
+	rng := stats.NewRNG(s.seed).Split(int64(id) + 1)
+	n := &Node{spec: s.spec, fact: s.fact, rng: rng}
+	for p := Param(0); p < NumParams; p++ {
+		n.Values[p] = rng.TruncNormal(s.spec.Nominal[p], s.spec.Sigma(p), s.spec.Bound(p))
+	}
+	return n
+}
+
+// Node is one region of the chip with its sampled parameter values.
+// Child regions are drawn around the node's values with the Table 1
+// range scaled by a correlation factor.
+type Node struct {
+	Values Values
+	spec   Spec
+	fact   Factors
+	rng    *stats.RNG
+}
+
+// Child draws a sub-region correlated with n: each parameter is redrawn
+// with mean n.Values[p] and the Table 1 sigma and 3-sigma window scaled
+// by factor. label distinguishes siblings; the same (node, factor, label)
+// always yields the same child.
+func (n *Node) Child(factor float64, label int64) *Node {
+	rng := n.rng.Split(label)
+	c := &Node{spec: n.spec, fact: n.fact, rng: rng}
+	if factor <= 0 {
+		c.Values = n.Values
+		return c
+	}
+	for p := Param(0); p < NumParams; p++ {
+		c.Values[p] = rng.TruncNormal(n.Values[p], factor*n.spec.Sigma(p), factor*n.spec.Bound(p))
+	}
+	return c
+}
+
+// Way returns the variation node for way i (0..3) of the cache, using
+// the 2x2-mesh way factors. Way 0 is perfectly correlated with the chip
+// root (it *is* the reference region).
+func (n *Node) Way(i int) *Node {
+	return n.Child(n.fact.WayFactor(i), int64(1000+i))
+}
+
+// Block returns the variation node for a circuit block (decoder,
+// precharge, cell array, sense amplifiers, output drivers) of a region.
+func (n *Node) Block(label int64) *Node {
+	return n.Child(n.fact.Block, 2000+label)
+}
+
+// Row returns the variation node for one row (word line) of a bank.
+func (n *Node) Row(label int64) *Node {
+	return n.Child(n.fact.Row, 3000+label)
+}
+
+// Bit returns the variation node for one bit cell of a row.
+func (n *Node) Bit(label int64) *Node {
+	return n.Child(n.fact.Bit, 4000+label)
+}
+
+// Delta returns the fractional deviation of parameter p from nominal:
+// (value - nominal) / nominal. Circuit models consume deltas so they
+// stay unit-agnostic.
+func (n *Node) Delta(p Param) float64 {
+	nom := n.spec.Nominal[p]
+	if nom == 0 {
+		return 0
+	}
+	return (n.Values[p] - nom) / nom
+}

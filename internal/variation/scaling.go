@@ -1,0 +1,51 @@
+package variation
+
+import "fmt"
+
+// TechNode identifies a process technology node by its drawn gate
+// length in nanometres.
+type TechNode int
+
+// The technology nodes of the Figure 1 trend discussion.
+const (
+	Node90 TechNode = 90
+	Node65 TechNode = 65
+	Node45 TechNode = 45
+	Node32 TechNode = 32
+)
+
+// SpecAt returns a process specification for the given node. The 45 nm
+// spec is Table 1 (Nassif's limits); the other nodes scale it along the
+// trends Section 1 describes: geometric dimensions shrink roughly with
+// the node, while *relative* variation grows as feature sizes approach
+// atomic granularity (channel-length control, dopant fluctuation and
+// metal CMP all worsen) — which is exactly why Figure 1's parametric
+// yield loss explodes below 130 nm.
+func SpecAt(n TechNode) (Spec, error) {
+	base := Nassif45nm()
+	switch n {
+	case Node45:
+		return base, nil
+	case Node90:
+		return Spec{
+			Nominal:   Values{Leff: 90, Vt: 280, W: 0.45, T: 0.85, H: 0.30},
+			Sigma3Pct: Values{Leff: 6, Vt: 12, W: 25, T: 25, H: 27},
+		}, nil
+	case Node65:
+		return Spec{
+			Nominal:   Values{Leff: 65, Vt: 250, W: 0.32, T: 0.65, H: 0.20},
+			Sigma3Pct: Values{Leff: 8, Vt: 15, W: 29, T: 29, H: 31},
+		}, nil
+	case Node32:
+		return Spec{
+			Nominal:   Values{Leff: 32, Vt: 200, W: 0.18, T: 0.40, H: 0.11},
+			Sigma3Pct: Values{Leff: 13, Vt: 22, W: 38, T: 38, H: 40},
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("variation: no specification for %d nm", int(n))
+	}
+}
+
+// Nodes lists the supported nodes newest-last (the Figure 1 x-axis
+// direction).
+func Nodes() []TechNode { return []TechNode{Node90, Node65, Node45, Node32} }

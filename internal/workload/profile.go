@@ -1,0 +1,183 @@
+// Package workload generates synthetic instruction traces that stand in
+// for the 24 SPEC2000 benchmarks (13 floating-point + 11 integer) of the
+// paper's performance evaluation.
+//
+// Each benchmark is described by a Profile: instruction mix, dependence
+// distances, branch behaviour and a memory-locality model (hot set, cold
+// working set, strided streams, pointer chasing). The generator turns a
+// profile into a deterministic instruction stream whose cache and
+// pipeline behaviour spans the same range as the real suite — art, mcf
+// and swim are memory-bound and suffer most from cache degradation,
+// while eon and mesa barely notice — which is the property Figures 9-10
+// and Table 6 measure.
+package workload
+
+// Class distinguishes the integer and floating-point halves of the suite.
+type Class int
+
+const (
+	Integer Class = iota
+	FloatingPoint
+)
+
+func (c Class) String() string {
+	if c == FloatingPoint {
+		return "FP"
+	}
+	return "INT"
+}
+
+// Profile characterises one benchmark's synthetic behaviour.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// Instruction mix; fractions of the dynamic stream. The remainder
+	// after loads, stores, branches, and the FP/mul/div fractions is
+	// plain integer ALU work.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64 // FP add/sub fraction (FloatingPoint class only)
+	MulFrac    float64 // multiplies (integer or FP per class)
+	DivFrac    float64 // divides (long latency)
+
+	// Dependences: distance (in dynamic instructions) from a consumer to
+	// its producer is 1 + a geometric draw with parameter DepGeomP —
+	// larger p means tighter chains and less ILP. SecondSrcProb is the
+	// probability an instruction has a second register source.
+	DepGeomP      float64
+	SecondSrcProb float64
+
+	// Branching: probability a branch is mispredicted. The paper's
+	// processor flushes and refills the pipeline on each mispredict.
+	MispredictRate float64
+
+	// Data memory locality. An access is strided with probability
+	// StrideFrac (sequential walks over big arrays — perfect spatial
+	// locality, misses only at block boundaries); otherwise it falls in
+	// the hot set with probability HotFrac (random within HotSetKB,
+	// mostly L1 hits) or in the cold working set (random within
+	// WorkingSetKB, mostly L1 misses and, if the set exceeds L2, memory
+	// accesses). StrideReuse is how many consecutive stride accesses
+	// touch each element before advancing — loop bodies that reuse their
+	// operands miss less often per access (a reuse of r makes roughly
+	// one stride access in 4r a block miss for 8-byte elements and
+	// 32-byte blocks).
+	StrideFrac   float64
+	StrideReuse  int
+	HotFrac      float64
+	HotSetKB     int
+	WorkingSetKB int
+
+	// Instruction-fetch locality: code footprint in KB; the front end
+	// walks loop bodies inside it. Footprints beyond the 16 KB L1I
+	// generate instruction-cache misses (gcc, crafty, vortex).
+	CodeKB int
+}
+
+// SPEC2000 returns the 24-benchmark suite: 11 SPECint and 13 SPECfp
+// models matching the paper's "13 floating-point and 11 integer
+// benchmarks". The numbers are calibrated from the suite's published
+// characterisations: memory-bound outliers (mcf, art, swim, lucas),
+// balanced cores (gcc, gap, applu), and compute-bound extremes (eon,
+// mesa, sixtrack, crafty).
+func SPEC2000() []Profile {
+	return []Profile{
+		// --- SPECint (11) ---
+		{Name: "gzip", Class: Integer, LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.17,
+			MulFrac: 0.01, DepGeomP: 0.48, SecondSrcProb: 0.45, MispredictRate: 0.06,
+			StrideFrac: 0.20, StrideReuse: 2, HotFrac: 0.995, HotSetKB: 4, WorkingSetKB: 180, CodeKB: 8},
+		{Name: "vpr", Class: Integer, LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.14,
+			MulFrac: 0.02, DepGeomP: 0.53, SecondSrcProb: 0.50, MispredictRate: 0.09,
+			StrideFrac: 0.20, StrideReuse: 2, HotFrac: 0.99, HotSetKB: 5, WorkingSetKB: 512, CodeKB: 12},
+		{Name: "gcc", Class: Integer, LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.19,
+			MulFrac: 0.01, DepGeomP: 0.51, SecondSrcProb: 0.42, MispredictRate: 0.07,
+			StrideFrac: 0.25, StrideReuse: 2, HotFrac: 0.98, HotSetKB: 5, WorkingSetKB: 1400, CodeKB: 28},
+		{Name: "mcf", Class: Integer, LoadFrac: 0.31, StoreFrac: 0.09, BranchFrac: 0.17,
+			MulFrac: 0.01, DepGeomP: 0.63, SecondSrcProb: 0.40, MispredictRate: 0.08,
+			StrideFrac: 0.05, StrideReuse: 1, HotFrac: 0.76, HotSetKB: 6, WorkingSetKB: 50000, CodeKB: 6},
+		{Name: "crafty", Class: Integer, LoadFrac: 0.27, StoreFrac: 0.07, BranchFrac: 0.13,
+			MulFrac: 0.02, DepGeomP: 0.43, SecondSrcProb: 0.55, MispredictRate: 0.08,
+			StrideFrac: 0.20, StrideReuse: 4, HotFrac: 0.997, HotSetKB: 4, WorkingSetKB: 250, CodeKB: 24},
+		{Name: "parser", Class: Integer, LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.18,
+			MulFrac: 0.01, DepGeomP: 0.55, SecondSrcProb: 0.45, MispredictRate: 0.09,
+			StrideFrac: 0.20, StrideReuse: 2, HotFrac: 0.981, HotSetKB: 5, WorkingSetKB: 900, CodeKB: 14},
+		{Name: "eon", Class: Integer, LoadFrac: 0.26, StoreFrac: 0.13, BranchFrac: 0.11,
+			MulFrac: 0.04, DepGeomP: 0.41, SecondSrcProb: 0.55, MispredictRate: 0.04,
+			StrideFrac: 0.20, StrideReuse: 8, HotFrac: 0.9985, HotSetKB: 3, WorkingSetKB: 60, CodeKB: 18},
+		{Name: "perlbmk", Class: Integer, LoadFrac: 0.27, StoreFrac: 0.12, BranchFrac: 0.16,
+			MulFrac: 0.01, DepGeomP: 0.49, SecondSrcProb: 0.45, MispredictRate: 0.06,
+			StrideFrac: 0.20, StrideReuse: 3, HotFrac: 0.99, HotSetKB: 5, WorkingSetKB: 400, CodeKB: 26},
+		{Name: "gap", Class: Integer, LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.15,
+			MulFrac: 0.03, DepGeomP: 0.51, SecondSrcProb: 0.48, MispredictRate: 0.05,
+			StrideFrac: 0.30, StrideReuse: 3, HotFrac: 0.993, HotSetKB: 5, WorkingSetKB: 700, CodeKB: 16},
+		{Name: "vortex", Class: Integer, LoadFrac: 0.29, StoreFrac: 0.14, BranchFrac: 0.15,
+			MulFrac: 0.01, DepGeomP: 0.47, SecondSrcProb: 0.44, MispredictRate: 0.04,
+			StrideFrac: 0.25, StrideReuse: 2, HotFrac: 0.995, HotSetKB: 5, WorkingSetKB: 1200, CodeKB: 30},
+		{Name: "bzip2", Class: Integer, LoadFrac: 0.24, StoreFrac: 0.09, BranchFrac: 0.15,
+			MulFrac: 0.01, DepGeomP: 0.50, SecondSrcProb: 0.46, MispredictRate: 0.07,
+			StrideFrac: 0.30, StrideReuse: 3, HotFrac: 0.993, HotSetKB: 5, WorkingSetKB: 850, CodeKB: 8},
+
+		// --- SPECfp (13) ---
+		{Name: "wupwise", Class: FloatingPoint, LoadFrac: 0.24, StoreFrac: 0.09, BranchFrac: 0.06,
+			FPFrac: 0.30, MulFrac: 0.12, DivFrac: 0.003, DepGeomP: 0.43, SecondSrcProb: 0.55,
+			MispredictRate: 0.02, StrideFrac: 0.60, StrideReuse: 4, HotFrac: 0.969, HotSetKB: 5, WorkingSetKB: 2200, CodeKB: 8},
+		{Name: "swim", Class: FloatingPoint, LoadFrac: 0.30, StoreFrac: 0.11, BranchFrac: 0.03,
+			FPFrac: 0.32, MulFrac: 0.10, DivFrac: 0.001, DepGeomP: 0.46, SecondSrcProb: 0.60,
+			MispredictRate: 0.01, StrideFrac: 0.75, StrideReuse: 1, HotFrac: 0.95, HotSetKB: 7, WorkingSetKB: 14000, CodeKB: 4},
+		{Name: "mgrid", Class: FloatingPoint, LoadFrac: 0.33, StoreFrac: 0.07, BranchFrac: 0.03,
+			FPFrac: 0.34, MulFrac: 0.11, DivFrac: 0.001, DepGeomP: 0.45, SecondSrcProb: 0.60,
+			MispredictRate: 0.01, StrideFrac: 0.70, StrideReuse: 2, HotFrac: 0.89, HotSetKB: 6, WorkingSetKB: 7000, CodeKB: 5},
+		{Name: "applu", Class: FloatingPoint, LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.04,
+			FPFrac: 0.31, MulFrac: 0.12, DivFrac: 0.004, DepGeomP: 0.44, SecondSrcProb: 0.58,
+			MispredictRate: 0.01, StrideFrac: 0.65, StrideReuse: 2, HotFrac: 0.946, HotSetKB: 6, WorkingSetKB: 6000, CodeKB: 7},
+		{Name: "mesa", Class: FloatingPoint, LoadFrac: 0.24, StoreFrac: 0.12, BranchFrac: 0.09,
+			FPFrac: 0.22, MulFrac: 0.09, DivFrac: 0.002, DepGeomP: 0.41, SecondSrcProb: 0.50,
+			MispredictRate: 0.03, StrideFrac: 0.45, StrideReuse: 16, HotFrac: 0.995, HotSetKB: 3, WorkingSetKB: 90, CodeKB: 16},
+		{Name: "galgel", Class: FloatingPoint, LoadFrac: 0.29, StoreFrac: 0.07, BranchFrac: 0.05,
+			FPFrac: 0.33, MulFrac: 0.13, DivFrac: 0.002, DepGeomP: 0.47, SecondSrcProb: 0.60,
+			MispredictRate: 0.02, StrideFrac: 0.55, StrideReuse: 2, HotFrac: 0.998, HotSetKB: 6, WorkingSetKB: 900, CodeKB: 6},
+		{Name: "art", Class: FloatingPoint, LoadFrac: 0.32, StoreFrac: 0.06, BranchFrac: 0.09,
+			FPFrac: 0.28, MulFrac: 0.11, DivFrac: 0.001, DepGeomP: 0.58, SecondSrcProb: 0.55,
+			MispredictRate: 0.02, StrideFrac: 0.35, StrideReuse: 1, HotFrac: 0.858, HotSetKB: 7, WorkingSetKB: 3600, CodeKB: 4},
+		{Name: "equake", Class: FloatingPoint, LoadFrac: 0.31, StoreFrac: 0.08, BranchFrac: 0.06,
+			FPFrac: 0.28, MulFrac: 0.12, DivFrac: 0.003, DepGeomP: 0.51, SecondSrcProb: 0.55,
+			MispredictRate: 0.02, StrideFrac: 0.40, StrideReuse: 1, HotFrac: 0.967, HotSetKB: 6, WorkingSetKB: 2500, CodeKB: 5},
+		{Name: "facerec", Class: FloatingPoint, LoadFrac: 0.27, StoreFrac: 0.07, BranchFrac: 0.05,
+			FPFrac: 0.31, MulFrac: 0.12, DivFrac: 0.002, DepGeomP: 0.44, SecondSrcProb: 0.57,
+			MispredictRate: 0.02, StrideFrac: 0.55, StrideReuse: 2, HotFrac: 0.976, HotSetKB: 5, WorkingSetKB: 1800, CodeKB: 6},
+		{Name: "ammp", Class: FloatingPoint, LoadFrac: 0.29, StoreFrac: 0.09, BranchFrac: 0.06,
+			FPFrac: 0.29, MulFrac: 0.11, DivFrac: 0.004, DepGeomP: 0.53, SecondSrcProb: 0.55,
+			MispredictRate: 0.02, StrideFrac: 0.30, StrideReuse: 1, HotFrac: 0.95, HotSetKB: 6, WorkingSetKB: 2000, CodeKB: 8},
+		{Name: "lucas", Class: FloatingPoint, LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.02,
+			FPFrac: 0.33, MulFrac: 0.14, DivFrac: 0.001, DepGeomP: 0.47, SecondSrcProb: 0.62,
+			MispredictRate: 0.01, StrideFrac: 0.60, StrideReuse: 1, HotFrac: 0.998, HotSetKB: 7, WorkingSetKB: 10000, CodeKB: 4},
+		{Name: "fma3d", Class: FloatingPoint, LoadFrac: 0.27, StoreFrac: 0.11, BranchFrac: 0.07,
+			FPFrac: 0.30, MulFrac: 0.12, DivFrac: 0.003, DepGeomP: 0.46, SecondSrcProb: 0.55,
+			MispredictRate: 0.02, StrideFrac: 0.45, StrideReuse: 2, HotFrac: 0.938, HotSetKB: 5, WorkingSetKB: 1600, CodeKB: 12},
+		{Name: "apsi", Class: FloatingPoint, LoadFrac: 0.28, StoreFrac: 0.09, BranchFrac: 0.05,
+			FPFrac: 0.30, MulFrac: 0.12, DivFrac: 0.003, DepGeomP: 0.45, SecondSrcProb: 0.57,
+			MispredictRate: 0.02, StrideFrac: 0.50, StrideReuse: 2, HotFrac: 0.925, HotSetKB: 6, WorkingSetKB: 1900, CodeKB: 9},
+	}
+}
+
+// ByName returns the profile with the given benchmark name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range SPEC2000() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	suite := SPEC2000()
+	out := make([]string, len(suite))
+	for i, p := range suite {
+		out[i] = p.Name
+	}
+	return out
+}

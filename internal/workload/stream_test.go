@@ -1,0 +1,90 @@
+package workload
+
+import "testing"
+
+func TestStreamsWrapWithinWorkingSet(t *testing.T) {
+	p, _ := ByName("swim") // stride-heavy
+	g := NewGenerator(p, 3)
+	span := uint64(p.WorkingSetKB) * 1024 / numStreams
+	for i := 0; i < 2_000_000; i++ {
+		in := g.Next()
+		if in.Op != Load && in.Op != Store {
+			continue
+		}
+		if in.Addr < streamRegion {
+			continue
+		}
+		stream := (in.Addr - streamRegion) >> 24
+		base := streamRegion + stream<<24
+		if off := in.Addr - base; off >= span+streamStagger(int(stream)) {
+			t.Fatalf("stream %d escaped its span: offset %d >= %d", stream, off, span)
+		}
+	}
+}
+
+func TestStreamsAreStaggeredAcrossSets(t *testing.T) {
+	// The concurrently active stream blocks must not share a cache set
+	// (32B blocks, 128 sets); see streamStagger.
+	seen := map[uint64]bool{}
+	for i := 0; i < numStreams; i++ {
+		set := (streamStagger(i) >> 5) & 127
+		if seen[set] {
+			t.Fatalf("streams collide in set %d", set)
+		}
+		seen[set] = true
+	}
+}
+
+func TestStrideReuseTouchesElementRepeatedly(t *testing.T) {
+	p, _ := ByName("crafty") // StrideReuse = 4
+	g := NewGenerator(p, 9)
+	// Count consecutive repeats per stream address.
+	last := map[uint64]uint64{}
+	repeats, advances := 0, 0
+	for i := 0; i < 500_000; i++ {
+		in := g.Next()
+		if (in.Op != Load && in.Op != Store) || in.Addr < streamRegion {
+			continue
+		}
+		stream := (in.Addr - streamRegion) >> 24
+		if last[stream] == in.Addr {
+			repeats++
+		} else {
+			advances++
+		}
+		last[stream] = in.Addr
+	}
+	if advances == 0 {
+		t.Fatal("streams never advanced")
+	}
+	ratio := float64(repeats) / float64(advances)
+	// Reuse 4 means ~3 repeats per advance.
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Errorf("repeat/advance ratio = %v, want ~3 for reuse 4", ratio)
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	p, _ := ByName("gzip")
+	g := NewGenerator(p, 5)
+	span := uint64(p.HotSetKB) * 1024
+	inCore, total := 0, 0
+	for i := 0; i < 500_000; i++ {
+		in := g.Next()
+		if (in.Op != Load && in.Op != Store) || in.Addr < hotRegion || in.Addr >= coldRegion {
+			continue
+		}
+		total++
+		if in.Addr-hotRegion < span/8 {
+			inCore++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no hot accesses")
+	}
+	// u^4 drawing: P(offset < span/8) = (1/8)^(1/4) ~ 0.59.
+	frac := float64(inCore) / float64(total)
+	if frac < 0.45 || frac > 0.75 {
+		t.Errorf("hot-core concentration = %v, want ~0.6 (u^4 draw)", frac)
+	}
+}

@@ -1,0 +1,144 @@
+package yieldcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallPerf() *PerfEvaluator {
+	return NewPerfEvaluator(PerfConfig{Instructions: 40_000})
+}
+
+func TestPerfBenchmarks(t *testing.T) {
+	e := smallPerf()
+	if len(e.Benchmarks()) != 24 {
+		t.Fatalf("suite size = %d", len(e.Benchmarks()))
+	}
+}
+
+func TestDegradationsSignsAndCache(t *testing.T) {
+	e := smallPerf()
+	slow := CacheConfig{WayCycles: []int{5, 4, 4, 4}, HRegionOff: -1}
+	d1 := e.Degradations(slow, 0)
+	if len(d1) != 24 {
+		t.Fatalf("degradations per benchmark = %d", len(d1))
+	}
+	pos := 0
+	for _, v := range d1 {
+		if v > 0 {
+			pos++
+		}
+	}
+	if pos < 20 {
+		t.Errorf("a slow way should cost CPI on nearly every benchmark, positive on %d/24", pos)
+	}
+	// Evaluation is memoized: a second call must return identical values.
+	d2 := e.Degradations(slow, 0)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("memoized degradations differ")
+		}
+	}
+}
+
+func TestAverageDegradationOrdering(t *testing.T) {
+	e := smallPerf()
+	one5 := e.AverageDegradation(CacheConfig{WayCycles: []int{5, 4, 4, 4}, HRegionOff: -1}, 0)
+	two5 := e.AverageDegradation(CacheConfig{WayCycles: []int{5, 5, 4, 4}, HRegionOff: -1}, 0)
+	all5 := e.AverageDegradation(CacheConfig{WayCycles: []int{5, 5, 5, 5}, HRegionOff: -1}, 0)
+	if !(0 < one5 && one5 < two5 && two5 < all5) {
+		t.Errorf("slow-way ordering violated: %v < %v < %v", one5, two5, all5)
+	}
+}
+
+func TestNaiveBinningNumbers(t *testing.T) {
+	e := smallPerf()
+	p1, p2 := e.NaiveBinning()
+	// Shape targets from Section 4.5: +1 cycle ~6.4%, +2 cycles ~12.6%,
+	// the second roughly double the first.
+	if p1 < 2 || p1 > 12 {
+		t.Errorf("+1 cycle binning = %v%%, want the 6.4%% neighbourhood", p1)
+	}
+	if p2 < 1.6*p1 || p2 > 2.6*p1 {
+		t.Errorf("+2 cycles (%v%%) should be roughly double +1 cycle (%v%%)", p2, p1)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	e := smallPerf()
+	f := e.Figure9()
+	if len(f.Series["YAPD"]) != 24 || len(f.Series["VACA"]) != 24 {
+		t.Fatal("figure series incomplete")
+	}
+	// Memory-bound mcf must be among the least VACA-sensitive, eon among
+	// the most (the spread of Figure 9).
+	idx := func(name string) int {
+		for i, b := range f.Benchmarks {
+			if b == name {
+				return i
+			}
+		}
+		t.Fatalf("benchmark %s missing", name)
+		return -1
+	}
+	vaca := f.Series["VACA"]
+	if vaca[idx("eon")] <= vaca[idx("mcf")] {
+		t.Errorf("eon (%v) should suffer more from a 5-cycle way than mcf (%v)",
+			vaca[idx("eon")], vaca[idx("mcf")])
+	}
+	out := RenderFigure(f, 40)
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "eon") {
+		t.Error("figure rendering incomplete")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	e := smallPerf()
+	f := e.Figure10()
+	if _, ok := f.Series["YAPD"]; ok {
+		t.Error("YAPD cannot save a 2-2-0 chip; it has no Figure 10 series")
+	}
+	if len(f.Series["VACA"]) != 24 {
+		t.Fatal("VACA series incomplete")
+	}
+}
+
+func TestTable6EndToEnd(t *testing.T) {
+	study := NewStudy(StudyConfig{Chips: 400, Seed: 2006})
+	e := smallPerf()
+	t6 := study.Table6(e)
+	if len(t6.Rows) == 0 {
+		t.Fatal("no saved configurations")
+	}
+	totalChips := 0
+	for _, r := range t6.Rows {
+		totalChips += r.Chips
+		// Applicability rules of Table 6.
+		if r.Key.N5+r.Key.N6 > 1 && r.YAPDOK {
+			t.Errorf("YAPD cannot save %+v", r.Key)
+		}
+		if (r.Key.N6 > 0 || r.LeakageLimited) && r.VACAOK {
+			t.Errorf("VACA cannot save %+v leak=%v", r.Key, r.LeakageLimited)
+		}
+		if r.Key.N6 > 1 && r.HybridOK {
+			t.Errorf("Hybrid cannot save %+v", r.Key)
+		}
+		if r.HybridOK && r.Hybrid < 0 {
+			t.Errorf("negative degradation for %+v", r.Key)
+		}
+	}
+	if totalChips == 0 {
+		t.Fatal("no chips in Table 6")
+	}
+	if t6.HybridSum <= 0 || t6.YAPDSum <= 0 || t6.VACASum <= 0 {
+		t.Error("weighted sums missing")
+	}
+	// Paper ordering of the weighted sums: YAPD < Hybrid < VACA.
+	if !(t6.YAPDSum < t6.VACASum) {
+		t.Errorf("YAPD weighted sum (%v) should undercut VACA (%v)", t6.YAPDSum, t6.VACASum)
+	}
+	out := RenderTable6(t6)
+	if !strings.Contains(out, "Weighted Sum") {
+		t.Error("Table 6 rendering incomplete")
+	}
+}

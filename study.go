@@ -1,0 +1,192 @@
+package yieldcache
+
+import (
+	"yieldcache/internal/core"
+	"yieldcache/internal/report"
+)
+
+// Re-exported core types: the facade's vocabulary is the paper's.
+type (
+	// Constraints is a yield requirement (delay mean+k*sigma, leakage
+	// m*average).
+	Constraints = core.Constraints
+	// Limits are absolute pass/fail thresholds.
+	Limits = core.Limits
+	// LossBreakdown is the content of Tables 2/3.
+	LossBreakdown = core.LossBreakdown
+	// ConstraintTotals is one row of Tables 4/5.
+	ConstraintTotals = core.ConstraintTotals
+	// ScatterPoint is one chip of Figure 8.
+	ScatterPoint = core.ScatterPoint
+	// CacheConfig is a saved chip's cache configuration.
+	CacheConfig = core.CacheConfig
+	// SavedConfig is one Table 6 row key.
+	SavedConfig = core.SavedConfig
+	// Scheme is a yield-aware cache architecture.
+	Scheme = core.Scheme
+	// LossReason classifies a parametric failure.
+	LossReason = core.LossReason
+)
+
+// The constraint sets of Section 5.1.
+var (
+	Nominal = core.Nominal
+	Relaxed = core.Relaxed
+	Strict  = core.Strict
+)
+
+// Loss-reason accessors for the Table 2/3 rows.
+func LossNoneReason() LossReason    { return core.LossNone }
+func LossLeakageReason() LossReason { return core.LossLeakage }
+
+// LossDelayWays returns the reason for a delay violation by n ways
+// (1 <= n <= 4).
+func LossDelayWays(n int) LossReason { return core.LossDelay1 + core.LossReason(n-1) }
+
+// AllLossReasons lists the loss rows in table order.
+func AllLossReasons() []LossReason { return core.LossReasons() }
+
+// StudyConfig parameterises a yield study.
+type StudyConfig struct {
+	// Chips is the Monte Carlo population size (default 2000, the
+	// paper's).
+	Chips int
+	// Seed drives all process-variation sampling (default 2006).
+	Seed int64
+	// Constraints selects the yield requirement (default Nominal()).
+	Constraints *Constraints
+}
+
+// Study holds the two cache-organisation populations (regular and
+// H-YAPD, built from identical variation draws) and the derived limits.
+type Study struct {
+	Regular    *core.Population
+	Horizontal *core.Population
+	Cons       Constraints
+	Limits     Limits
+}
+
+// NewStudy builds the Monte Carlo populations and derives the limits
+// from the regular organisation, as in Section 5.1.
+func NewStudy(cfg StudyConfig) *Study {
+	if cfg.Seed == 0 {
+		cfg.Seed = 2006
+	}
+	cons := Nominal()
+	if cfg.Constraints != nil {
+		cons = *cfg.Constraints
+	}
+	reg := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
+	hor := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, HYAPD: true})
+	return &Study{
+		Regular:    reg,
+		Horizontal: hor,
+		Cons:       cons,
+		Limits:     core.DeriveLimits(reg, cons),
+	}
+}
+
+// Table2 returns the loss breakdown of the regular cache under YAPD,
+// VACA and Hybrid.
+func (s *Study) Table2() LossBreakdown {
+	return core.BreakdownLosses(s.Regular, s.Limits, core.YAPD{}, core.VACA{}, core.Hybrid{})
+}
+
+// Table3 returns the loss breakdown of the horizontal-power-down cache
+// under H-YAPD, VACA and the horizontal Hybrid. Limits stay those of the
+// regular organisation, so the 2.5% H-YAPD latency tax shows up as extra
+// base losses, matching Section 5.1.
+func (s *Study) Table3() LossBreakdown {
+	return core.BreakdownLosses(s.Horizontal, s.Limits,
+		core.HYAPD{}, core.VACA{}, core.Hybrid{Horizontal: true})
+}
+
+// Table4 returns total losses for the relaxed and strict constraint sets
+// on the regular cache.
+func (s *Study) Table4() []ConstraintTotals {
+	return core.TotalsUnderConstraints(s.Regular, s.Regular,
+		[]Constraints{Relaxed(), Strict()}, core.YAPD{}, core.VACA{}, core.Hybrid{})
+}
+
+// Table5 returns total losses for the relaxed and strict constraint sets
+// on the horizontal-power-down cache.
+func (s *Study) Table5() []ConstraintTotals {
+	return core.TotalsUnderConstraints(s.Horizontal, s.Regular,
+		[]Constraints{Relaxed(), Strict()},
+		core.HYAPD{}, core.VACA{}, core.Hybrid{Horizontal: true})
+}
+
+// Figure8 returns the latency-vs-normalised-leakage scatter of the
+// regular population.
+func (s *Study) Figure8() []ScatterPoint {
+	return s.Regular.Scatter(s.Limits)
+}
+
+// SavedConfigurations returns the Table 6 row keys: the way-latency
+// configurations of chips converted from loss to gain (by the Hybrid,
+// which saves the union of what the schemes save), with frequencies.
+func (s *Study) SavedConfigurations() []SavedConfig {
+	return core.SavedConfigurations(s.Regular, s.Limits, core.Hybrid{})
+}
+
+// RenderBreakdown renders a LossBreakdown as the paper's Table 2/3
+// layout.
+func RenderBreakdown(title string, bd LossBreakdown) string {
+	headers := []string{"Reason of Loss", "# Chips"}
+	for _, s := range bd.Schemes {
+		headers = append(headers, s.Scheme)
+	}
+	t := report.NewTable(title, headers...)
+	for _, r := range core.LossReasons() {
+		row := []interface{}{r.String(), bd.Base[r]}
+		for _, s := range bd.Schemes {
+			row = append(row, s.ByReason[r])
+		}
+		t.AddRow(row...)
+	}
+	total := []interface{}{"Total", bd.BaseTotal}
+	for _, s := range bd.Schemes {
+		total = append(total, s.Total)
+	}
+	t.AddRow(total...)
+	return t.String()
+}
+
+// RenderTotals renders Tables 4/5.
+func RenderTotals(title string, rows []ConstraintTotals) string {
+	if len(rows) == 0 {
+		return title + "\n(no rows)\n"
+	}
+	headers := []string{"Constraint", "# Chips"}
+	for _, s := range rows[0].Schemes {
+		headers = append(headers, s.Scheme)
+	}
+	t := report.NewTable(title, headers...)
+	for _, r := range rows {
+		row := []interface{}{r.Constraint.Name, r.Base}
+		for _, s := range r.Schemes {
+			row = append(row, s.Total)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// RenderFigure8 renders the scatter plot as text; loss reasons get their
+// own glyphs (l = leakage loss, d = delay loss, . = passing).
+func RenderFigure8(pts []ScatterPoint, width, height int) string {
+	rp := make([]report.Point, len(pts))
+	for i, p := range pts {
+		g := '.'
+		switch {
+		case p.Reason == core.LossLeakage:
+			g = 'l'
+		case p.Reason != core.LossNone:
+			g = 'd'
+		}
+		rp[i] = report.Point{X: p.LatencyPS, Y: p.NormalizedLeakage, Glyph: g}
+	}
+	return report.Scatter(
+		"Figure 8: normalized leakage vs cache latency (l=leakage loss, d=delay loss)",
+		"latency [ps]", "leakage / average", rp, width, height)
+}
