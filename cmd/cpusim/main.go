@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"yieldcache/internal/cpu"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
 	"yieldcache/internal/workload"
 )
@@ -29,7 +30,18 @@ func main() {
 	predict := flag.Int("predict", 0, "scheduler's assumed load-hit latency (0 = default 4)")
 	seed := flag.Int64("seed", 1, "trace generator seed")
 	detailed := flag.Bool("detailed", false, "use the per-cycle (event-driven) core instead of the one-pass timing model")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	run := obsFlags.Activate("cpusim")
+	defer func() {
+		if err := run.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpusim: %v\n", err)
+		}
+	}()
+	run.Manifest.Set("bench", *bench).Set("n", *n).Set("ways", *ways).
+		Set("hregion", *hregion).Set("predict", *predict).
+		Set("seed", *seed).Set("detailed", *detailed)
 
 	var wayCycles []int
 	if *ways != "" {
@@ -62,11 +74,13 @@ func main() {
 			*n, cfg.L1D.WayCycles, cfg.L1D.HRegionOff, cfg.PredictedLoadCycles),
 		"benchmark", "CPI", "L1D miss", "slow hits", "L1I miss", "L2 miss", "replays", "bypass stalls", "mispredicts")
 	for _, p := range profiles {
-		run := cpu.Run
+		sim := cpu.Run
 		if *detailed {
-			run = cpu.RunDetailed
+			sim = cpu.RunDetailed
 		}
-		r := run(workload.NewGenerator(p, *seed), *n, cfg)
+		sp := obs.StartSpan("bench " + p.Name)
+		r := sim(workload.NewGenerator(p, *seed), *n, cfg)
+		sp.End()
 		missRate := 0.0
 		if r.L1DAccesses > 0 {
 			missRate = float64(r.L1DMisses) / float64(r.L1DAccesses)

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"yieldcache"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
 )
 
@@ -23,7 +24,17 @@ func main() {
 	seed := flag.Int64("seed", 2006, "master seed for process variation sampling")
 	instr := flag.Int("instructions", 300_000, "instructions per benchmark run")
 	only := flag.String("only", "", "comma-separated subset (table2..table6, figure1, figure8, figure9, figure10, naive, trend, economics, ssta)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	run := obsFlags.Activate("paper")
+	defer func() {
+		if err := run.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		}
+	}()
+	run.Manifest.Set("chips", *chips).Set("seed", *seed).
+		Set("instructions", *instr).Set("only", *only)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -32,6 +43,14 @@ func main() {
 		}
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	section := func(k string, f func()) {
+		if !sel(k) {
+			return
+		}
+		sp := obs.StartSpan(k)
+		f()
+		sp.End()
+	}
 
 	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: *chips, Seed: *seed})
 	perf := yieldcache.NewPerfEvaluator(yieldcache.PerfConfig{Instructions: *instr})
@@ -39,61 +58,61 @@ func main() {
 	fmt.Printf("Population: %d chips, seed %d; limits: delay %.1f ps (cycle %.1f ps), leakage %.2f mW\n\n",
 		*chips, *seed, study.Limits.DelayPS, study.Limits.CycleTimePS(), study.Limits.LeakageW*1e3)
 
-	if sel("figure1") {
+	section("figure1", func() {
 		fmt.Println(figure1())
-	}
-	if sel("figure8") {
+	})
+	section("figure8", func() {
 		fmt.Println(yieldcache.RenderFigure8(study.Figure8(), 72, 24))
-	}
-	if sel("table2") {
+	})
+	section("table2", func() {
 		bd := study.Table2()
 		fmt.Println(yieldcache.RenderBreakdown("Table 2: sources of yield loss, regular power-down", bd))
 		printYields(bd)
-	}
-	if sel("table3") {
+	})
+	section("table3", func() {
 		bd := study.Table3()
 		fmt.Println(yieldcache.RenderBreakdown("Table 3: sources of yield loss, horizontal power-down", bd))
 		printYields(bd)
-	}
-	if sel("table4") {
+	})
+	section("table4", func() {
 		fmt.Println(yieldcache.RenderTotals("Table 4: total losses, relaxed/strict, regular power-down", study.Table4()))
-	}
-	if sel("table5") {
+	})
+	section("table5", func() {
 		fmt.Println(yieldcache.RenderTotals("Table 5: total losses, relaxed/strict, horizontal power-down", study.Table5()))
-	}
-	if sel("table6") {
+	})
+	section("table6", func() {
 		fmt.Println(yieldcache.RenderTable6(study.Table6(perf)))
-	}
-	if sel("figure9") {
+	})
+	section("figure9", func() {
 		fmt.Println(yieldcache.RenderFigure(perf.Figure9(), 50))
-	}
-	if sel("figure10") {
+	})
+	section("figure10", func() {
 		fmt.Println(yieldcache.RenderFigure(perf.Figure10(), 50))
-	}
-	if sel("naive") {
+	})
+	section("naive", func() {
 		p1, p2 := perf.NaiveBinning()
 		fmt.Printf("Naive binning (Section 4.5): +1 cycle %.2f%% (paper 6.42%%), +2 cycles %.2f%% (paper 12.62%%)\n\n",
 			p1, p2)
-	}
-	if sel("trend") {
+	})
+	section("trend", func() {
 		rows, err := yieldcache.TechnologyTrend(*chips/2, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(yieldcache.RenderTrend(rows))
-	}
-	if sel("ssta") {
+	})
+	section("ssta", func() {
 		fmt.Println(yieldcache.RenderSSTA(study.CompareSSTA()))
-	}
-	if sel("economics") {
+	})
+	section("economics", func() {
 		rows, err := study.Economics(perf, yieldcache.DefaultCostModel())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(yieldcache.RenderEconomics(rows))
-	}
+	})
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)

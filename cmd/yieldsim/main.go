@@ -6,6 +6,7 @@
 // Usage:
 //
 //	yieldsim [-chips N] [-seed S] [-constraints nominal|relaxed|strict] [-csv]
+//	         [-metrics-out m.json] [-trace-out t.json] [-manifest-out run.json] [-pprof addr]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"yieldcache"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
 )
 
@@ -23,6 +25,7 @@ func main() {
 	consName := flag.String("constraints", "nominal", "yield constraints: nominal, relaxed or strict")
 	csv := flag.Bool("csv", false, "emit the population (latency, leakage, classification) as CSV and exit")
 	save := flag.String("save", "", "write the regular population to this file (gob) after building")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var cons yieldcache.Constraints
@@ -38,7 +41,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	run := obsFlags.Activate("yieldsim")
+	defer func() {
+		if err := run.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+		}
+	}()
+	run.Manifest.Set("chips", *chips).Set("seed", *seed).Set("constraints", *consName)
+
 	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: *chips, Seed: *seed, Constraints: &cons})
+	run.Manifest.Set("limit_delay_ps", study.Limits.DelayPS).
+		Set("limit_leakage_w", study.Limits.LeakageW)
 
 	if *save != "" {
 		f, err := os.Create(*save)

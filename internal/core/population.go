@@ -3,8 +3,10 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"yieldcache/internal/circuit"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/sram"
 	"yieldcache/internal/variation"
 )
@@ -63,6 +65,14 @@ func (c *PopulationConfig) fill() {
 // the previous simulations". Evaluation is parallelised across CPUs.
 func BuildPopulation(cfg PopulationConfig) *Population {
 	cfg.fill()
+	spanName := "build_population"
+	if cfg.HYAPD {
+		spanName = "build_population/hyapd"
+	}
+	sp := obs.StartSpan(spanName)
+	defer sp.End()
+	begin := time.Now()
+
 	model := sram.NewModel(*cfg.Tech, cfg.HYAPD)
 	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
 
@@ -71,17 +81,29 @@ func BuildPopulation(cfg PopulationConfig) *Population {
 	if workers > cfg.N {
 		workers = cfg.N
 	}
+	workerSec := obs.H("core_population_worker_seconds", obs.ExpBuckets(1e-4, 4, 10))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(start int) {
 			defer wg.Done()
+			ws := sp.Worker("measure_chips", start)
+			t0 := time.Now()
 			for i := start; i < cfg.N; i += workers {
 				chips[i] = Chip{ID: i, Meas: model.Measure(sampler.Chip(i))}
 			}
+			workerSec.Observe(time.Since(t0).Seconds())
+			ws.End()
 		}(w)
 	}
 	wg.Wait()
+
+	elapsed := time.Since(begin).Seconds()
+	obs.C("core_chips_built_total").Add(int64(cfg.N))
+	obs.G("core_population_build_seconds").Set(elapsed)
+	if elapsed > 0 {
+		obs.G("core_population_chips_per_second").Set(float64(cfg.N) / elapsed)
+	}
 	return &Population{Chips: chips, Model: model, Seed: cfg.Seed}
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"yieldcache/internal/obs"
+)
 
 // SchemeLosses is one scheme's column in Tables 2/3: how many chips of
 // each base-case loss category remain lost under the scheme.
@@ -23,6 +27,8 @@ type LossBreakdown struct {
 // BreakdownLosses classifies every chip of the population under the
 // given limits and applies each scheme to the failing ones.
 func BreakdownLosses(pop *Population, lim Limits, schemes ...Scheme) LossBreakdown {
+	sp := obs.StartSpan("breakdown_losses")
+	defer sp.End()
 	bd := LossBreakdown{
 		N:    len(pop.Chips),
 		Base: make(map[LossReason]int),
@@ -46,6 +52,14 @@ func BreakdownLosses(pop *Population, lim Limits, schemes ...Scheme) LossBreakdo
 				bd.Schemes[i].Total++
 			}
 		}
+	}
+	obs.C("core_chips_classified_total").Add(int64(bd.N))
+	obs.C("core_chips_lost_base_total").Add(int64(bd.BaseTotal))
+	for _, s := range bd.Schemes {
+		obs.C(`core_scheme_saved_total{scheme="` + s.Scheme + `"}`).
+			Add(int64(bd.BaseTotal - s.Total))
+		obs.C(`core_scheme_lost_total{scheme="` + s.Scheme + `"}`).
+			Add(int64(s.Total))
 	}
 	return bd
 }

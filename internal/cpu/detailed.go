@@ -105,6 +105,7 @@ func RunDetailed(gen *workload.Generator, n int, cfg Config) Result {
 	m.res.L1DSlowHits = m.hier.L1D.SlowHits
 	m.res.L2Misses = m.hier.L2Misses
 	m.res.MemAccesses = m.hier.MemAccesses
+	recordRunMetrics(&m.res)
 	return m.res
 }
 

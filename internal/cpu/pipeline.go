@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"yieldcache/internal/obs"
 	"yieldcache/internal/workload"
 )
 
@@ -348,5 +349,22 @@ func Run(gen *workload.Generator, n int, cfg Config) Result {
 	m.res.L1DSlowHits = m.hier.L1D.SlowHits
 	m.res.L2Misses = m.hier.L2Misses
 	m.res.MemAccesses = m.hier.MemAccesses
+	recordRunMetrics(&m.res)
 	return m.res
+}
+
+// recordRunMetrics surfaces one run's tallies on the metrics registry.
+// Aggregated once per run, not per instruction, so the simulator's
+// inner loop is untouched; disabled instrumentation costs nil checks.
+func recordRunMetrics(r *Result) {
+	obs.C("cpu_runs_total").Inc()
+	obs.C("cpu_instructions_total").Add(int64(r.Instructions))
+	obs.C("cpu_cycles_total").Add(int64(r.Cycles))
+	obs.C("cpu_l1d_accesses_total").Add(int64(r.L1DAccesses))
+	obs.C("cpu_l1d_hits_total").Add(int64(r.L1DAccesses - r.L1DMisses))
+	obs.C("cpu_l1d_misses_total").Add(int64(r.L1DMisses))
+	obs.C("cpu_l1d_slow_hits_total").Add(int64(r.L1DSlowHits))
+	obs.C("cpu_l2_misses_total").Add(int64(r.L2Misses))
+	obs.C("cpu_replays_total").Add(int64(r.Replays))
+	obs.C("cpu_bypass_stalls_total").Add(int64(r.BypassStalls))
 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest captures everything needed to reproduce a run: the tool and
+// its arguments, the run parameters (seed, chip count, constraint set,
+// ...), and the execution environment. Written next to the results it
+// makes every run auditable after the fact.
+type Manifest struct {
+	Tool       string            `json:"tool"`
+	Args       []string          `json:"args"`
+	Start      time.Time         `json:"start"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Params     map[string]string `json:"params"`
+}
+
+// NewManifest returns a manifest pre-filled with the environment and
+// the process arguments.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Tool:       tool,
+		Args:       append([]string(nil), os.Args[1:]...),
+		Start:      time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Params:     make(map[string]string),
+	}
+}
+
+// Set records one run parameter; values are stringified with %v.
+func (m *Manifest) Set(key string, value interface{}) *Manifest {
+	if m == nil {
+		return nil
+	}
+	m.Params[key] = fmt.Sprint(value)
+	return m
+}
+
+// WriteJSON encodes the manifest as indented JSON (params sorted by
+// key, so manifests diff cleanly between runs).
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -82,10 +82,47 @@ func TestScatterDegenerate(t *testing.T) {
 	if s := Scatter("t", "x", "y", nil, 20, 10); !strings.Contains(s, "no data") {
 		t.Error("empty scatter should say so")
 	}
+	if s := Scatter("t", "x", "y", []Point{}, 20, 10); !strings.Contains(s, "no data") {
+		t.Error("zero-length scatter should say so")
+	}
 	// Constant data must not divide by zero.
 	s := Scatter("t", "x", "y", []Point{{X: 1, Y: 1}}, 20, 10)
 	if !strings.Contains(s, "*") {
 		t.Error("single constant point missing")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	s := Scatter("t", "x", "y", []Point{{X: 3, Y: 7, Glyph: 'q'}}, 20, 10)
+	if !strings.Contains(s, "q") {
+		t.Errorf("single point not plotted:\n%s", s)
+	}
+	// The degenerate range is widened by one, so the point lands at the
+	// range minimum and both axis labels stay finite.
+	if !strings.Contains(s, "(3 .. 4)") || !strings.Contains(s, "(7 .. 8)") {
+		t.Errorf("degenerate axis ranges wrong:\n%s", s)
+	}
+}
+
+func TestScatterAllEqualX(t *testing.T) {
+	pts := []Point{{X: 5, Y: 0}, {X: 5, Y: 1}, {X: 5, Y: 2}}
+	s := Scatter("t", "x", "y", pts, 20, 10)
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("degenerate X range produced non-finite output:\n%s", s)
+	}
+	if got := strings.Count(s, "*"); got != 3 {
+		t.Errorf("plotted %d points, want 3:\n%s", got, s)
+	}
+}
+
+func TestScatterAllEqualY(t *testing.T) {
+	pts := []Point{{X: 0, Y: 5}, {X: 1, Y: 5}, {X: 2, Y: 5}}
+	s := Scatter("t", "x", "y", pts, 20, 10)
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("degenerate Y range produced non-finite output:\n%s", s)
+	}
+	if got := strings.Count(s, "*"); got != 3 {
+		t.Errorf("plotted %d points, want 3:\n%s", got, s)
 	}
 }
 

@@ -4,10 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"yieldcache/internal/core"
 	"yieldcache/internal/cpu"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
 	"yieldcache/internal/stats"
 	"yieldcache/internal/workload"
@@ -51,8 +55,23 @@ func NewPerfEvaluator(cfg PerfConfig) *PerfEvaluator {
 // Benchmarks returns the benchmark names in evaluation order.
 func (e *PerfEvaluator) Benchmarks() []string { return e.names }
 
+// configKey encodes a cache configuration unambiguously: each field is
+// separated by a delimiter that cannot appear inside a number, so no
+// two distinct (wayCycles, hRegion, predicted) triples share a key.
+// (fmt.Sprint's space-joined form left field boundaries ambiguous.)
 func configKey(wayCycles []int, hRegion, predicted int) string {
-	return fmt.Sprint(wayCycles, hRegion, predicted)
+	var b strings.Builder
+	for i, c := range wayCycles {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(hRegion))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(predicted))
+	return b.String()
 }
 
 // suiteCPI returns the per-benchmark CPI of the given L1D configuration,
@@ -62,9 +81,16 @@ func (e *PerfEvaluator) suiteCPI(wayCycles []int, hRegion, predicted int) []floa
 	e.mu.Lock()
 	if got, ok := e.cache[key]; ok {
 		e.mu.Unlock()
+		obs.C("perf_config_cache_hits_total").Inc()
 		return got
 	}
 	e.mu.Unlock()
+	obs.C("perf_config_cache_misses_total").Inc()
+
+	sp := obs.StartSpan("suite_cpi " + key)
+	defer sp.End()
+	runSec := obs.H("perf_benchmark_run_seconds", obs.ExpBuckets(1e-3, 4, 10))
+	cpiHist := obs.H("perf_benchmark_cpi", obs.LinearBuckets(0.5, 0.25, 14))
 
 	suite := workload.SPEC2000()
 	cpis := make([]float64, len(suite))
@@ -74,11 +100,16 @@ func (e *PerfEvaluator) suiteCPI(wayCycles []int, hRegion, predicted int) []floa
 		wg.Add(1)
 		go func(start int) {
 			defer wg.Done()
+			ws := sp.Worker("cpi_runs", start)
 			for i := start; i < len(suite); i += workers {
 				cfg := cpu.DefaultConfig().WithL1D(wayCycles, hRegion, predicted)
 				gen := workload.NewGenerator(suite[i], e.cfg.Seed)
+				t0 := time.Now()
 				cpis[i] = cpu.Run(gen, e.cfg.Instructions, cfg).CPI
+				runSec.Observe(time.Since(t0).Seconds())
+				cpiHist.Observe(cpis[i])
 			}
+			ws.End()
 		}(w)
 	}
 	wg.Wait()
@@ -141,6 +172,8 @@ type Table6 struct {
 
 // Table6 evaluates the performance cost of every saved configuration.
 func (s *Study) Table6(e *PerfEvaluator) Table6 {
+	sp := obs.StartSpan("table6_cpi")
+	defer sp.End()
 	rows := s.SavedConfigurations()
 	out := Table6{}
 

@@ -9,6 +9,48 @@ func smallPerf() *PerfEvaluator {
 	return NewPerfEvaluator(PerfConfig{Instructions: 40_000})
 }
 
+func TestConfigKeyNoCollisions(t *testing.T) {
+	// Regression for the fmt.Sprint-based key: field boundaries must be
+	// unambiguous, so distinct configurations that flatten to the same
+	// digit stream still get distinct keys.
+	type cfg struct {
+		ways      []int
+		hRegion   int
+		predicted int
+	}
+	cases := []cfg{
+		{nil, -1, 0},
+		{[]int{}, -1, 0}, // empty slice must equal nil's key...
+		{[]int{4, 4, 4, 4}, -1, 0},
+		{[]int{4, 4, 4}, 4, -10}, // same digits as above, shifted across fields
+		{[]int{4, 4, 44}, -1, 0},
+		{[]int{44, 4, 4}, -1, 0},
+		{[]int{5, 4, 4, 4}, -1, 0},
+		{[]int{5, 4, 4, 4}, -1, 5},
+		{[]int{5, 4, 4, 45}, -1, 0},
+		{[]int{5, 4, 4}, 45, 0},
+		{[]int{0, 4, 4, 4}, 0, 4},
+		{[]int{0, 4, 4, 40}, 4, 0},
+	}
+	// ...so treat nil and empty as one config and require all other
+	// pairs to differ.
+	if configKey(cases[0].ways, -1, 0) != configKey(cases[1].ways, -1, 0) {
+		t.Error("nil and empty wayCycles should share a key")
+	}
+	keys := make(map[string]cfg)
+	for _, c := range cases[1:] {
+		k := configKey(c.ways, c.hRegion, c.predicted)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("collision: %+v and %+v both map to %q", prev, c, k)
+		}
+		keys[k] = c
+	}
+	// And the key is stable for identical inputs.
+	if configKey([]int{5, 4}, 1, 2) != configKey([]int{5, 4}, 1, 2) {
+		t.Error("key not deterministic")
+	}
+}
+
 func TestPerfBenchmarks(t *testing.T) {
 	e := smallPerf()
 	if len(e.Benchmarks()) != 24 {

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Pre-merge gate: formatting, vet, and the full test suite under the
+# race detector (the metrics registry and tracer must stay safe under
+# the parallel population build and PerfEvaluator).
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check.sh: all green"

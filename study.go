@@ -2,6 +2,7 @@ package yieldcache
 
 import (
 	"yieldcache/internal/core"
+	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
 )
 
@@ -69,6 +70,8 @@ type Study struct {
 // NewStudy builds the Monte Carlo populations and derives the limits
 // from the regular organisation, as in Section 5.1.
 func NewStudy(cfg StudyConfig) *Study {
+	sp := obs.StartSpan("new_study")
+	defer sp.End()
 	if cfg.Seed == 0 {
 		cfg.Seed = 2006
 	}
@@ -78,11 +81,14 @@ func NewStudy(cfg StudyConfig) *Study {
 	}
 	reg := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
 	hor := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, HYAPD: true})
+	lsp := obs.StartSpan("derive_limits")
+	lim := core.DeriveLimits(reg, cons)
+	lsp.End()
 	return &Study{
 		Regular:    reg,
 		Horizontal: hor,
 		Cons:       cons,
-		Limits:     core.DeriveLimits(reg, cons),
+		Limits:     lim,
 	}
 }
 

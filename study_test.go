@@ -147,6 +147,19 @@ func TestFigure8Points(t *testing.T) {
 	}
 }
 
+func TestRenderFigure8EmptyPopulation(t *testing.T) {
+	// An empty population must render a clear placeholder, not panic or
+	// divide by zero.
+	out := RenderFigure8(nil, 72, 24)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty Figure 8 should say 'no data':\n%s", out)
+	}
+	out = RenderFigure8([]ScatterPoint{}, 72, 24)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("zero-point Figure 8 should say 'no data':\n%s", out)
+	}
+}
+
 func TestSavedConfigurationsConsistentWithHybrid(t *testing.T) {
 	s := smallStudy(t)
 	rows := s.SavedConfigurations()
