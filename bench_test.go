@@ -14,8 +14,10 @@ import (
 	"sync"
 	"testing"
 
+	"yieldcache/internal/circuit"
 	"yieldcache/internal/core"
 	"yieldcache/internal/cpu"
+	"yieldcache/internal/sram"
 	"yieldcache/internal/variation"
 	"yieldcache/internal/workload"
 )
@@ -314,8 +316,36 @@ func BenchmarkAblationAdaptiveHybrid(b *testing.B) {
 // BenchmarkPopulationBuild measures the Monte Carlo throughput itself
 // (chips evaluated per second drives every other experiment).
 func BenchmarkPopulationBuild(b *testing.B) {
+	const n = 200
 	for i := 0; i < b.N; i++ {
-		core.BuildPopulation(core.PopulationConfig{N: 200, Seed: int64(i + 1)})
+		core.BuildPopulation(core.PopulationConfig{N: n, Seed: int64(i + 1)})
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "chips/s")
+}
+
+// BenchmarkPopulationBuildPair measures the shared-draw pair builder:
+// one sampling pass yields both organisations, so each iteration
+// produces 2N measurements.
+func BenchmarkPopulationBuildPair(b *testing.B) {
+	const n = 200
+	for i := 0; i < b.N; i++ {
+		core.BuildPopulationPair(core.PopulationConfig{N: n, Seed: int64(i + 1)})
+	}
+	b.ReportMetric(float64(2*n*b.N)/b.Elapsed().Seconds(), "chips/s")
+}
+
+// BenchmarkMeasure is the steady-state single-chip kernel: one warm
+// evaluator, one reused destination. The interesting numbers are
+// allocs/op (must be 0) and ns/op.
+func BenchmarkMeasure(b *testing.B) {
+	model := sram.NewModel(circuit.PTM45(), false)
+	sampler := variation.NewSampler(variation.Nassif45nm(), variation.PaperFactors(), 2006)
+	ev := model.NewEvaluator(sampler.NewScratch())
+	var cm sram.CacheMeasurement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip := ev.Scratch().Chip(i)
+		ev.Measure(&chip, &cm)
 	}
 }
 

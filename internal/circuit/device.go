@@ -23,6 +23,16 @@ func DeviceFrom(n *variation.Node) Device {
 	}
 }
 
+// DeviceOf extracts the device state from sampled parameter values under
+// the given process spec. It is the value-typed counterpart of
+// DeviceFrom for the allocation-free measurement path.
+func DeviceOf(v *variation.Values, spec *variation.Spec) Device {
+	return Device{
+		DLeff: spec.DeltaOf(variation.Leff, v[variation.Leff]),
+		VtV:   v[variation.Vt] / 1000, // mV -> V
+	}
+}
+
 // EffectiveVt returns the DIBL-corrected threshold voltage: shorter
 // channels see a lower barrier, so Vt_eff = Vt + DIBL·ΔL/L (the shift is
 // negative for short devices). The result is clamped to stay below Vdd
@@ -74,6 +84,16 @@ func WireFrom(n *variation.Node) Wire {
 		DW: n.Delta(variation.W),
 		DT: n.Delta(variation.T),
 		DH: n.Delta(variation.H),
+	}
+}
+
+// WireOf extracts the interconnect state from sampled parameter values
+// under the given process spec (value-typed counterpart of WireFrom).
+func WireOf(v *variation.Values, spec *variation.Spec) Wire {
+	return Wire{
+		DW: spec.DeltaOf(variation.W, v[variation.W]),
+		DT: spec.DeltaOf(variation.T, v[variation.T]),
+		DH: spec.DeltaOf(variation.H, v[variation.H]),
 	}
 }
 

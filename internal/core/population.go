@@ -28,21 +28,35 @@ type Population struct {
 	Chips []Chip
 	Model *sram.Model
 	Seed  int64
+
+	// Derived columns, computed once on first use. The returned slices
+	// are shared: callers must treat them as read-only.
+	colOnce sync.Once
+	lats    []float64
+	leaks   []float64
+	leakAvg float64
 }
 
 // PopulationConfig parameterises BuildPopulation.
 type PopulationConfig struct {
-	N     int   // number of chips; 0 means PaperPopulationSize
-	Seed  int64 // master seed of the variation sampler
-	HYAPD bool  // evaluate the H-YAPD cache organisation
-	Tech  *circuit.Tech
-	Spec  *variation.Spec
-	Fact  *variation.Factors
+	N       int   // number of chips; 0 means PaperPopulationSize
+	Seed    int64 // master seed of the variation sampler
+	HYAPD   bool  // evaluate the H-YAPD cache organisation
+	Workers int   // parallel evaluation workers; 0 means GOMAXPROCS
+	Tech    *circuit.Tech
+	Spec    *variation.Spec
+	Fact    *variation.Factors
 }
 
 func (c *PopulationConfig) fill() {
 	if c.N == 0 {
 		c.N = PaperPopulationSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.N {
+		c.Workers = c.N
 	}
 	if c.Tech == nil {
 		t := circuit.PTM45()
@@ -62,25 +76,53 @@ func (c *PopulationConfig) fill() {
 // pure function of (Seed, i), so the regular and H-YAPD organisations
 // built from the same seed see identical process variation draws — the
 // paper's "we have applied the same process variation parameters used in
-// the previous simulations". Evaluation is parallelised across CPUs.
+// the previous simulations". Evaluation is parallelised across CPUs;
+// the result is independent of the worker count.
 func BuildPopulation(cfg PopulationConfig) *Population {
+	reg, _ := buildPopulations(cfg, false)
+	return reg
+}
+
+// BuildPopulationPair samples every chip's variation tree once and
+// measures both cache organisations from the same draws, returning the
+// regular and H-YAPD populations. cfg.HYAPD is ignored. The pair is
+// bit-identical to two BuildPopulation calls with the same seed, but
+// the "same process variation parameters" guarantee holds by
+// construction — and the sampling cost is paid once instead of twice.
+func BuildPopulationPair(cfg PopulationConfig) (regular, horizontal *Population) {
+	return buildPopulations(cfg, true)
+}
+
+// buildPopulations is the single-pass Monte Carlo engine behind both
+// entry points. Each worker owns a variation scratch, a measurement
+// evaluator and a stripe of the chip arena, so the hot loop performs no
+// heap allocation: way/bank/path measurement storage comes from flat
+// arrays sliced up front.
+func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population) {
 	cfg.fill()
 	spanName := "build_population"
-	if cfg.HYAPD {
+	if pair {
+		spanName = "build_population/pair"
+	} else if cfg.HYAPD {
 		spanName = "build_population/hyapd"
 	}
 	sp := obs.StartSpan(spanName)
 	defer sp.End()
 	begin := time.Now()
 
-	model := sram.NewModel(*cfg.Tech, cfg.HYAPD)
+	regModel := sram.NewModel(*cfg.Tech, cfg.HYAPD && !pair)
 	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
+	geom := regModel.Geom
 
-	chips := make([]Chip, cfg.N)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.N {
-		workers = cfg.N
+	regChips := newChipArena(cfg.N, geom)
+	var horChips []Chip
+	var horModel *sram.Model
+	if pair {
+		horModel = sram.NewModel(*cfg.Tech, true)
+		horChips = newChipArena(cfg.N, geom)
 	}
+
+	workers := cfg.Workers
 	workerSec := obs.H("core_population_worker_seconds", obs.ExpBuckets(1e-4, 4, 10))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -89,8 +131,14 @@ func BuildPopulation(cfg PopulationConfig) *Population {
 			defer wg.Done()
 			ws := sp.Worker("measure_chips", start)
 			t0 := time.Now()
+			ev := regModel.NewEvaluator(sampler.NewScratch())
 			for i := start; i < cfg.N; i += workers {
-				chips[i] = Chip{ID: i, Meas: model.Measure(sampler.Chip(i))}
+				chip := ev.Scratch().Chip(i)
+				if pair {
+					ev.MeasurePair(&chip, &regChips[i].Meas, &horChips[i].Meas)
+				} else {
+					ev.Measure(&chip, &regChips[i].Meas)
+				}
 			}
 			workerSec.Observe(time.Since(t0).Seconds())
 			ws.End()
@@ -98,31 +146,81 @@ func BuildPopulation(cfg PopulationConfig) *Population {
 	}
 	wg.Wait()
 
+	measured := cfg.N
+	if pair {
+		measured *= 2
+	}
 	elapsed := time.Since(begin).Seconds()
-	obs.C("core_chips_built_total").Add(int64(cfg.N))
+	obs.C("core_chips_built_total").Add(int64(measured))
 	obs.G("core_population_build_seconds").Set(elapsed)
 	if elapsed > 0 {
-		obs.G("core_population_chips_per_second").Set(float64(cfg.N) / elapsed)
+		obs.G("core_population_chips_per_second").Set(float64(measured) / elapsed)
 	}
-	return &Population{Chips: chips, Model: model, Seed: cfg.Seed}
+	reg := &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
+	if !pair {
+		return reg, nil
+	}
+	return reg, &Population{Chips: horChips, Model: horModel, Seed: cfg.Seed}
 }
 
-// Latencies returns the cache access latency of every chip.
+// newChipArena allocates a chip slice whose per-chip measurement slices
+// all come from three flat backing arrays, pre-sized by sram.Prepare.
+// Full-capacity slice expressions keep a chip's append (which never
+// happens in practice) from bleeding into its neighbour.
+func newChipArena(n int, g Geometry) []Chip {
+	chips := make([]Chip, n)
+	ways := make([]sram.WayMeasurement, n*g.Ways)
+	banks := make([]sram.BankMeasurement, n*g.Ways*g.BanksPerWay)
+	paths := make([]sram.PathMeasurement, n*g.Ways*g.BanksPerWay*g.PathsPerBank)
+	for i := range chips {
+		chips[i].ID = i
+		chips[i].Meas.Ways = ways[i*g.Ways : (i+1)*g.Ways : (i+1)*g.Ways]
+		for w := range chips[i].Meas.Ways {
+			bo := (i*g.Ways + w) * g.BanksPerWay
+			chips[i].Meas.Ways[w].Banks = banks[bo : bo+g.BanksPerWay : bo+g.BanksPerWay]
+			for b := range chips[i].Meas.Ways[w].Banks {
+				po := (bo + b) * g.PathsPerBank
+				chips[i].Meas.Ways[w].Banks[b].Paths = paths[po : po+g.PathsPerBank : po+g.PathsPerBank]
+			}
+		}
+	}
+	return chips
+}
+
+// Geometry is re-exported for arena sizing.
+type Geometry = sram.Geometry
+
+// columns computes the latency and leakage columns once. Populations
+// read from persisted files (or built by literal construction in tests)
+// memoize lazily too, so the sync.Once lives on the Population itself.
+func (p *Population) columns() {
+	p.colOnce.Do(func() {
+		p.lats = make([]float64, len(p.Chips))
+		p.leaks = make([]float64, len(p.Chips))
+		sum := 0.0
+		for i := range p.Chips {
+			p.lats[i] = p.Chips[i].Meas.LatencyPS
+			p.leaks[i] = p.Chips[i].Meas.LeakageW
+			sum += p.leaks[i]
+		}
+		if len(p.Chips) > 0 {
+			p.leakAvg = sum / float64(len(p.Chips))
+		}
+	})
+}
+
+// Latencies returns the cache access latency of every chip. The slice
+// is computed once and shared across calls: treat it as read-only.
 func (p *Population) Latencies() []float64 {
-	out := make([]float64, len(p.Chips))
-	for i, c := range p.Chips {
-		out[i] = c.Meas.LatencyPS
-	}
-	return out
+	p.columns()
+	return p.lats
 }
 
-// Leakages returns the total cache leakage of every chip.
+// Leakages returns the total cache leakage of every chip. The slice is
+// computed once and shared across calls: treat it as read-only.
 func (p *Population) Leakages() []float64 {
-	out := make([]float64, len(p.Chips))
-	for i, c := range p.Chips {
-		out[i] = c.Meas.LeakageW
-	}
-	return out
+	p.columns()
+	return p.leaks
 }
 
 // ScatterPoint is one chip of the Figure 8 scatter plot.
@@ -136,17 +234,12 @@ type ScatterPoint struct {
 // to the population average, with each chip's loss classification under
 // the given limits.
 func (p *Population) Scatter(lim Limits) []ScatterPoint {
-	leaks := p.Leakages()
-	avg := 0.0
-	for _, l := range leaks {
-		avg += l
-	}
-	avg /= float64(len(leaks))
+	p.columns()
 	pts := make([]ScatterPoint, len(p.Chips))
 	for i, c := range p.Chips {
 		pts[i] = ScatterPoint{
 			LatencyPS:         c.Meas.LatencyPS,
-			NormalizedLeakage: leaks[i] / avg,
+			NormalizedLeakage: p.leaks[i] / p.leakAvg,
 			Reason:            Classify(c.Meas, lim),
 		}
 	}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// goldenChip pins a chip's measurement to hex-exact values captured
+// from the pre-refactor tree-based double-build path (seed 2006,
+// N=200). The single-pass shared-draw builder must reproduce them bit
+// for bit — the acceptance bar of the paper-reproduction tables.
+type goldenChip struct {
+	id              int
+	regLat, regLeak float64
+	horLat, horLeak float64
+}
+
+var golden2006 = []goldenChip{
+	{0, 0x1.99af714dfd98p+09, 0x1.fca893c3e8454p-06, 0x1.a3ed6dbcbd889p+09, 0x1.fca893c3e8454p-06},
+	{1, 0x1.40d260d7f441cp+10, 0x1.92c3d59942c6dp-07, 0x1.48d7a343c0c36p+10, 0x1.92c3d59942c6dp-07},
+	{7, 0x1.5659a78c88a0ep+09, 0x1.3b4886deda06ap-05, 0x1.5ee8b2233f3e7p+09, 0x1.3b4886deda06ap-05},
+	{63, 0x1.58e024849b3d9p+09, 0x1.b5dc87dced15dp-05, 0x1.617f58a185857p+09, 0x1.b5dc87dced15dp-05},
+	{199, 0x1.df7828535d874p+09, 0x1.dd32ee5111516p-06, 0x1.eb74c2ef0caa9p+09, 0x1.dd32ee5111516p-06},
+}
+
+const (
+	goldenRegLatSum  = 0x1.312d5bb4e55e8p+17
+	goldenRegLeakSum = 0x1.79aefc7f957cap+03
+	goldenHorLatSum  = 0x1.38ce7dffd1812p+17
+	goldenHorLeakSum = 0x1.79aefc7f957cap+03
+	goldenLimDelay   = 0x1.e5ca3362b807ap+09
+	goldenLimLeak    = 0x1.6a9381c2291b8p-03
+)
+
+func hexEq(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %x (%.17g), want %x", what, got, got, want)
+	}
+}
+
+// TestGoldenSeed2006 is the bit-identity regression for the single-pass
+// builder: spot chips, population sums, derived limits and the Table 2
+// loss breakdown must all match the values the old double-build path
+// produced for seed 2006.
+func TestGoldenSeed2006(t *testing.T) {
+	reg, hor := BuildPopulationPair(PopulationConfig{N: 200, Seed: 2006})
+	for _, g := range golden2006 {
+		hexEq(t, "reg lat", reg.Chips[g.id].Meas.LatencyPS, g.regLat)
+		hexEq(t, "reg leak", reg.Chips[g.id].Meas.LeakageW, g.regLeak)
+		hexEq(t, "hor lat", hor.Chips[g.id].Meas.LatencyPS, g.horLat)
+		hexEq(t, "hor leak", hor.Chips[g.id].Meas.LeakageW, g.horLeak)
+	}
+	var rl, rk, hl, hk float64
+	for i := range reg.Chips {
+		rl += reg.Chips[i].Meas.LatencyPS
+		rk += reg.Chips[i].Meas.LeakageW
+		hl += hor.Chips[i].Meas.LatencyPS
+		hk += hor.Chips[i].Meas.LeakageW
+	}
+	hexEq(t, "reg lat sum", rl, goldenRegLatSum)
+	hexEq(t, "reg leak sum", rk, goldenRegLeakSum)
+	hexEq(t, "hor lat sum", hl, goldenHorLatSum)
+	hexEq(t, "hor leak sum", hk, goldenHorLeakSum)
+
+	lim := DeriveLimits(reg, Nominal())
+	hexEq(t, "limit delay", lim.DelayPS, goldenLimDelay)
+	hexEq(t, "limit leak", lim.LeakageW, goldenLimLeak)
+
+	bd := BreakdownLosses(reg, lim, YAPD{}, VACA{}, Hybrid{})
+	if bd.BaseTotal != 35 || bd.Schemes[0].Total != 13 || bd.Schemes[1].Total != 14 || bd.Schemes[2].Total != 3 {
+		t.Errorf("loss breakdown = base %d yapd %d vaca %d hybrid %d, want 35/13/14/3",
+			bd.BaseTotal, bd.Schemes[0].Total, bd.Schemes[1].Total, bd.Schemes[2].Total)
+	}
+}
+
+// TestPairMatchesDoubleBuild checks that one shared-draw pair build
+// equals two independent single builds chip for chip, for both
+// organisations.
+func TestPairMatchesDoubleBuild(t *testing.T) {
+	cfg := PopulationConfig{N: 64, Seed: 41}
+	reg, hor := BuildPopulationPair(cfg)
+	wantReg := BuildPopulation(PopulationConfig{N: 64, Seed: 41})
+	wantHor := BuildPopulation(PopulationConfig{N: 64, Seed: 41, HYAPD: true})
+	if !reflect.DeepEqual(reg.Chips, wantReg.Chips) {
+		t.Fatal("pair regular population diverges from single build")
+	}
+	if !reflect.DeepEqual(hor.Chips, wantHor.Chips) {
+		t.Fatal("pair H-YAPD population diverges from single build")
+	}
+	if !reg.Model.HYAPD == false || hor.Model.HYAPD != true {
+		t.Fatal("pair models carry wrong organisations")
+	}
+}
+
+// TestWorkerCountIndependence checks determinism across parallelism:
+// a serial build and a wide build produce identical chips, because chip
+// i is a pure function of (seed, i) regardless of which worker draws it.
+func TestWorkerCountIndependence(t *testing.T) {
+	serial := BuildPopulation(PopulationConfig{N: 50, Seed: 2006, Workers: 1})
+	wide := BuildPopulation(PopulationConfig{N: 50, Seed: 2006, Workers: 8})
+	if !reflect.DeepEqual(serial.Chips, wide.Chips) {
+		t.Fatal("population depends on worker count")
+	}
+	sp, wp := BuildPopulationPair(PopulationConfig{N: 50, Seed: 2006, Workers: 1})
+	s8, w8 := BuildPopulationPair(PopulationConfig{N: 50, Seed: 2006, Workers: 8})
+	if !reflect.DeepEqual(sp.Chips, s8.Chips) || !reflect.DeepEqual(wp.Chips, w8.Chips) {
+		t.Fatal("pair population depends on worker count")
+	}
+}
+
+// TestMemoizedColumns checks the derived columns are computed once,
+// shared between calls, and agree with the chip measurements.
+func TestMemoizedColumns(t *testing.T) {
+	p := BuildPopulation(PopulationConfig{N: 20, Seed: 9})
+	lats, leaks := p.Latencies(), p.Leakages()
+	if &lats[0] != &p.Latencies()[0] || &leaks[0] != &p.Leakages()[0] {
+		t.Fatal("columns reallocated on second call")
+	}
+	sum := 0.0
+	for i, c := range p.Chips {
+		if lats[i] != c.Meas.LatencyPS || leaks[i] != c.Meas.LeakageW {
+			t.Fatalf("column %d disagrees with chip measurement", i)
+		}
+		sum += c.Meas.LeakageW
+	}
+	pts := p.Scatter(Limits{DelayPS: math.Inf(1), LeakageW: math.Inf(1)})
+	avg := sum / float64(len(p.Chips))
+	for i := range pts {
+		if pts[i].NormalizedLeakage != leaks[i]/avg {
+			t.Fatalf("scatter point %d normalisation off", i)
+		}
+	}
+}

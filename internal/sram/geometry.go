@@ -37,15 +37,19 @@ func (g Geometry) CellsPerBank() int { return g.RowsPerBank * g.BitsPerRow }
 // CellsPerWay returns the number of SRAM cells in one way.
 func (g Geometry) CellsPerWay() int { return g.BanksPerWay * g.CellsPerBank() }
 
-// NominalStages returns the nominal (variation-free) stage delays of one
+// NumStages is the number of pipeline stages on one access path.
+const NumStages = 7
+
+// PathStages returns the nominal (variation-free) stage delays of one
 // access path, in picoseconds, calibrated to a ~500 ps 16 KB SRAM at
 // 45 nm. distFrac in [0,1] is the fractional routing distance of the
 // addressed row from the decoder (bank position and row position
 // combined): further rows see longer global word-line routing, which is
 // why the upper-most row of a bank is the critical path and mid-bank rows
-// are near-critical, exactly the structure H-YAPD exploits.
-func NominalStages(distFrac float64) []circuit.Stage {
-	return []circuit.Stage{
+// are near-critical, exactly the structure H-YAPD exploits. The fixed
+// array return keeps the measurement hot loop off the heap.
+func PathStages(distFrac float64) [NumStages]circuit.Stage {
+	return [NumStages]circuit.Stage{
 		{Name: "addr-bus", Kind: circuit.WireStage, NominalPS: 30},
 		{Name: "decode", Kind: circuit.GateStage, NominalPS: 85},
 		{Name: "global-wl", Kind: circuit.WireStage, NominalPS: 60 * (0.15 + 0.85*distFrac)},
@@ -54,4 +58,11 @@ func NominalStages(distFrac float64) []circuit.Stage {
 		{Name: "sense", Kind: circuit.GateStage, NominalPS: 70},
 		{Name: "output", Kind: circuit.DrivenWireStage, NominalPS: 60},
 	}
+}
+
+// NominalStages returns PathStages as a slice, for callers that iterate
+// over paths outside the allocation-sensitive kernel.
+func NominalStages(distFrac float64) []circuit.Stage {
+	s := PathStages(distFrac)
+	return s[:]
 }

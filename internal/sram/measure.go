@@ -88,47 +88,123 @@ type CacheMeasurement struct {
 	LeakageW  float64 // sum over ways
 }
 
-// Measure evaluates the cache on the chip described by the variation
-// root node. The correlation structure follows Sections 2-3: ways on the
-// 2x2 mesh; horizontal bands (row regions) drawn at chip level and
-// shared by all ways because they sit at the same die y-coordinate;
-// per-bank circuit blocks at the block factor; one row draw per
-// representative path.
-func (m *Model) Measure(chip *variation.Node) CacheMeasurement {
+// Prepare sizes dst for geometry g, reusing slice capacity when it is
+// already there and zeroing every aggregate the kernel accumulates
+// into. After one measurement a re-Prepared value costs no allocation.
+func Prepare(dst *CacheMeasurement, g Geometry) {
+	if cap(dst.Ways) >= g.Ways {
+		dst.Ways = dst.Ways[:g.Ways]
+	} else {
+		dst.Ways = make([]WayMeasurement, g.Ways)
+	}
+	for w := range dst.Ways {
+		wm := &dst.Ways[w]
+		wm.PeriphLeakW, wm.LatencyPS, wm.LeakageW = 0, 0, 0
+		if cap(wm.Banks) >= g.BanksPerWay {
+			wm.Banks = wm.Banks[:g.BanksPerWay]
+		} else {
+			wm.Banks = make([]BankMeasurement, g.BanksPerWay)
+		}
+		for b := range wm.Banks {
+			bm := &wm.Banks[b]
+			bm.MaxPS, bm.ArrayLeakW = 0, 0
+			if cap(bm.Paths) >= g.PathsPerBank {
+				bm.Paths = bm.Paths[:g.PathsPerBank]
+			} else {
+				bm.Paths = make([]PathMeasurement, g.PathsPerBank)
+			}
+		}
+	}
+	dst.LatencyPS, dst.LeakageW = 0, 0
+}
+
+// Evaluator is the single-pass measurement engine: one variation
+// scratch plus flattened band-draw buffers, reused across chips so that
+// a warm Measure does zero heap allocations. Evaluators are not safe
+// for concurrent use; the population builder gives each worker its own.
+type Evaluator struct {
+	m         *Model
+	sc        *variation.Scratch
+	bands     []variation.Draw // per (bank, path slot), shared by all ways
+	bankBands []variation.Draw // per bank aggregate, shared by all ways
+}
+
+// NewEvaluator returns an evaluator drawing from sc. The scratch's spec
+// and correlation factors must match the population being measured.
+func (m *Model) NewEvaluator(sc *variation.Scratch) *Evaluator {
+	return &Evaluator{
+		m:         m,
+		sc:        sc,
+		bands:     make([]variation.Draw, m.Geom.BanksPerWay*m.Geom.PathsPerBank),
+		bankBands: make([]variation.Draw, m.Geom.BanksPerWay),
+	}
+}
+
+// Scratch returns the evaluator's variation scratch (chip root draws
+// come from it so that the whole pipeline shares one generator).
+func (e *Evaluator) Scratch() *variation.Scratch { return e.sc }
+
+// Measure evaluates the model's cache organisation on the chip
+// described by the root draw, into dst. Steady-state calls are
+// allocation-free once dst has been through one measurement (or
+// Prepare) at this geometry.
+func (e *Evaluator) Measure(chip *variation.Draw, dst *CacheMeasurement) {
+	e.measure(chip, dst, e.m.HYAPD)
+}
+
+// MeasurePair evaluates both cache organisations from one set of
+// variation draws: the regular organisation into reg and H-YAPD into
+// hor. Because H-YAPD differs only by its constant decoder latency
+// penalty, the H-YAPD result is derived from the same path delays,
+// bit-identical to an independent H-YAPD measurement of the same chip —
+// the paper's "same process variation parameters" guarantee holds by
+// construction instead of by re-sampling.
+func (e *Evaluator) MeasurePair(chip *variation.Draw, reg, hor *CacheMeasurement) {
+	e.measure(chip, reg, false)
+	deriveHYAPD(reg, hor, e.m.Geom)
+}
+
+func (e *Evaluator) measure(chip *variation.Draw, dst *CacheMeasurement, hyapd bool) {
+	m := e.m
+	Prepare(dst, m.Geom)
 	// Horizontal bands: one per (bank, path slot), common to all ways.
 	// Each bank also has an aggregate band node whose leakage state is
 	// shared by the same physical rows of every way — horizontal regions
 	// run hot or cold together, which is what lets H-YAPD excise the
 	// hottest region of all four ways at once.
-	bands := make([]*variation.Node, m.Geom.BanksPerWay*m.Geom.PathsPerBank)
-	for i := range bands {
-		bands[i] = chip.Child(bandFactor, int64(5000+i))
+	for i := range e.bands {
+		e.bands[i] = e.sc.Child(chip, bandFactor, int64(5000+i))
 	}
-	bankBands := make([]*variation.Node, m.Geom.BanksPerWay)
-	for b := range bankBands {
-		bankBands[b] = chip.Child(bandFactor, int64(6000+b))
+	for b := range e.bankBands {
+		e.bankBands[b] = e.sc.Child(chip, bandFactor, int64(6000+b))
 	}
-	cm := CacheMeasurement{Ways: make([]WayMeasurement, m.Geom.Ways)}
 	for w := 0; w < m.Geom.Ways; w++ {
-		cm.Ways[w] = m.measureWay(chip, chip.Way(w), bands, bankBands, w)
-		if cm.Ways[w].LatencyPS > cm.LatencyPS {
-			cm.LatencyPS = cm.Ways[w].LatencyPS
+		way := e.sc.Way(chip, w)
+		e.measureWay(&dst.Ways[w], chip, &way, w, hyapd)
+		if dst.Ways[w].LatencyPS > dst.LatencyPS {
+			dst.LatencyPS = dst.Ways[w].LatencyPS
 		}
-		cm.LeakageW += cm.Ways[w].LeakageW
+		dst.LeakageW += dst.Ways[w].LeakageW
 	}
-	return cm
 }
 
-func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variation.Node, wayIdx int) WayMeasurement {
+// measureWay evaluates one way into wm (pre-sized by Prepare). The
+// correlation structure follows Sections 2-3: ways on the 2x2 mesh;
+// horizontal bands drawn at chip level and shared by all ways because
+// they sit at the same die y-coordinate; per-bank circuit blocks at the
+// block factor; one row draw per representative path.
+func (e *Evaluator) measureWay(wm *WayMeasurement, chip, way *variation.Draw, wayIdx int, hyapd bool) {
+	m := e.m
 	t := m.Tech
-	chipDev := circuit.DeviceFrom(chip)
-	dec := way.Block(blockDecoder)
-	out := way.Block(blockOutput)
+	sc := e.sc
+	spec := sc.Spec()
+	chipDev := circuit.DeviceOf(&chip.Values, spec)
+	dec := sc.Block(way, blockDecoder)
+	out := sc.Block(way, blockOutput)
 
-	decDev, decWire := circuit.DeviceFrom(dec), circuit.WireFrom(dec)
-	outDev, outWire := circuit.DeviceFrom(out), circuit.WireFrom(out)
+	decDev, decWire := circuit.DeviceOf(&dec.Values, spec), circuit.WireOf(&dec.Values, spec)
+	outDev, outWire := circuit.DeviceOf(&out.Values, spec), circuit.WireOf(&out.Values, spec)
 
-	wm := WayMeasurement{Banks: make([]BankMeasurement, m.Geom.BanksPerWay)}
 	totalRows := float64(m.Geom.BanksPerWay * m.Geom.RowsPerBank)
 
 	periphLeakSum := decDev.LeakageFactor(t) + outDev.LeakageFactor(t)
@@ -136,11 +212,11 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 	var arrayLeakTotal float64
 
 	for b := 0; b < m.Geom.BanksPerWay; b++ {
-		pre := way.Block(int64(blockPreBase + b))
-		sa := way.Block(int64(blockSenseAmp + b))
-		preWire := circuit.WireFrom(pre)
-		saDev := circuit.DeviceFrom(sa)
-		periphLeakSum += (circuit.DeviceFrom(pre).LeakageFactor(t) + saDev.LeakageFactor(t)) /
+		pre := sc.Block(way, int64(blockPreBase+b))
+		sa := sc.Block(way, int64(blockSenseAmp+b))
+		preWire := circuit.WireOf(&pre.Values, spec)
+		saDev := circuit.DeviceOf(&sa.Values, spec)
+		periphLeakSum += (circuit.DeviceOf(&pre.Values, spec).LeakageFactor(t) + saDev.LeakageFactor(t)) /
 			float64(m.Geom.BanksPerWay)
 		periphBlocks += 2.0 / float64(m.Geom.BanksPerWay)
 
@@ -151,21 +227,21 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 		// around the bank's systematic value; offset eats margin whichever
 		// side it lands on, so it enters as |ΔVt|) and, at half weight,
 		// the bank's systematic sense-amp weakness.
-		mmNode := sa.Child(1.0, 9000)
-		offset := mmNode.Values[variation.Vt]/1000 - saDev.VtV
+		mmDraw := sc.Child(&sa, 1.0, 9000)
+		offset := mmDraw.Values[variation.Vt]/1000 - saDev.VtV
 		if offset < 0 {
 			offset = -offset
 		}
 
-		bm := BankMeasurement{Paths: make([]PathMeasurement, m.Geom.PathsPerBank)}
+		bm := &wm.Banks[b]
 		var bankLeakSum float64
 		for p := 0; p < m.Geom.PathsPerBank; p++ {
-			band := bands[b*m.Geom.PathsPerBank+p]
+			band := &e.bands[b*m.Geom.PathsPerBank+p]
 			// This way's instance of the band's rows: nearly identical to
 			// the band (row factor) but distinguishable per way.
-			row := band.Row(int64(wayIdx))
-			cellDev := circuit.DeviceFrom(row)
-			cellWire := circuit.WireFrom(row)
+			row := sc.Row(band, int64(wayIdx))
+			cellDev := circuit.DeviceOf(&row.Values, spec)
+			cellWire := circuit.WireOf(&row.Values, spec)
 			bankLeakSum += cellDev.LeakageFactor(t)
 
 			// The sense clock is generated by a replica bitline that
@@ -191,7 +267,8 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 			rowIdx := p * m.Geom.RowsPerBank / m.Geom.PathsPerBank
 			distFrac := (float64(b*m.Geom.RowsPerBank) + float64(rowIdx) + 0.5) / totalRows
 			delay := 0.0
-			for _, s := range NominalStages(distFrac) {
+			stages := PathStages(distFrac)
+			for _, s := range stages {
 				var d float64
 				switch s.Name {
 				case "addr-bus", "decode", "global-wl":
@@ -209,7 +286,7 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 				}
 				delay += d
 			}
-			if m.HYAPD {
+			if hyapd {
 				delay *= HYAPDLatencyPenalty
 			}
 			bm.Paths[p] = PathMeasurement{Bank: b, Slot: p, DelayPS: delay}
@@ -220,12 +297,12 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 		// Array leakage: the bank-band aggregate (shared across ways)
 		// carries most of the weight; the per-path rows add this way's
 		// local contribution.
-		bandLeak := circuit.DeviceFrom(bankBands[b].Row(int64(wayIdx))).LeakageFactor(t)
+		bandRow := sc.Row(&e.bankBands[b], int64(wayIdx))
+		bandLeak := circuit.DeviceOf(&bandRow.Values, spec).LeakageFactor(t)
 		slotLeak := bankLeakSum / float64(m.Geom.PathsPerBank)
 		bm.ArrayLeakW = t.CellLeakage * float64(m.Geom.CellsPerBank()) *
 			(0.7*bandLeak + 0.3*slotLeak)
 		arrayLeakTotal += bm.ArrayLeakW
-		wm.Banks[b] = bm
 		if bm.MaxPS > wm.LatencyPS {
 			wm.LatencyPS = bm.MaxPS
 		}
@@ -234,7 +311,51 @@ func (m *Model) measureWay(chip, way *variation.Node, bands, bankBands []*variat
 	wm.PeriphLeakW = t.PeripheryLeakFrac * t.CellLeakage *
 		float64(m.Geom.CellsPerWay()) * periphLeakSum / periphBlocks
 	wm.LeakageW = arrayLeakTotal + wm.PeriphLeakW
-	return wm
+}
+
+// deriveHYAPD fills hor with the H-YAPD organisation's measurement of
+// the chip already measured (regular organisation) in reg: every path
+// delay takes the constant decoder penalty, maxima are re-selected from
+// the scaled delays, and leakage carries over unchanged — exactly the
+// arithmetic an independent H-YAPD measurement performs on the same
+// draws.
+func deriveHYAPD(reg, hor *CacheMeasurement, g Geometry) {
+	Prepare(hor, g)
+	for w := range reg.Ways {
+		rw, hw := &reg.Ways[w], &hor.Ways[w]
+		for b := range rw.Banks {
+			rb, hb := &rw.Banks[b], &hw.Banks[b]
+			for p := range rb.Paths {
+				delay := rb.Paths[p].DelayPS * HYAPDLatencyPenalty
+				hb.Paths[p] = PathMeasurement{Bank: rb.Paths[p].Bank, Slot: rb.Paths[p].Slot, DelayPS: delay}
+				if delay > hb.MaxPS {
+					hb.MaxPS = delay
+				}
+			}
+			hb.ArrayLeakW = rb.ArrayLeakW
+			if hb.MaxPS > hw.LatencyPS {
+				hw.LatencyPS = hb.MaxPS
+			}
+		}
+		hw.PeriphLeakW = rw.PeriphLeakW
+		hw.LeakageW = rw.LeakageW
+		if hw.LatencyPS > hor.LatencyPS {
+			hor.LatencyPS = hw.LatencyPS
+		}
+		hor.LeakageW += hw.LeakageW
+	}
+}
+
+// Measure evaluates the cache on the chip described by the variation
+// root node. It is the tree-based compatibility entry point; the
+// population builder uses an Evaluator directly to amortise scratch
+// state across chips.
+func (m *Model) Measure(chip *variation.Node) CacheMeasurement {
+	e := m.NewEvaluator(chip.NewScratch())
+	d := chip.AsDraw()
+	var cm CacheMeasurement
+	e.Measure(&d, &cm)
+	return cm
 }
 
 // LatencyWithoutBank returns the way's slowest path when physical bank b

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// This file makes reseeding a generator cheap. math/rand's default
+// source (the Mitchell-Reeds additive lagged-Fibonacci generator) pays
+// ~1900 Lehmer-LCG steps in Seed() to fill a 607-word state vector, of
+// which a short-lived stream reads only a handful of entries. The
+// variation sampler creates one stream per region node and draws ~5-10
+// values from it, so seeding dominates the entire Monte Carlo build
+// (>80% of CPU in profiles).
+//
+// fastSource produces the bit-identical output stream while seeding in
+// O(1): Seed() records the normalized Lehmer seed, and each output
+// computes the two state entries it needs on demand. Entry i of the
+// seeded vector is a pure function of the seed — three consecutive
+// values of the Lehmer chain x_{n+1} = 48271*x_n mod (2^31-1), XORed
+// with a constant "cooked" word — and the chain can jump to any
+// position with one modular multiplication by a precomputed power of
+// 48271. The cooked words are private to math/rand, so they are
+// recovered once at init from a real seeded source; an output-stream
+// cross-check then gates the fast path, falling back to plain
+// math/rand seeding (still correct, just slower) if the runtime's
+// layout ever changes.
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+	lcgA     = 48271
+)
+
+var (
+	// lcgJump[i] = 48271^(21+3i) mod (2^31-1): the Lehmer chain
+	// position of the first of the three draws that feed vec[i]
+	// (Seed runs 20 warmup steps, then 3 steps per entry).
+	lcgJump [rngLen]uint64
+	// rngCooked mirrors math/rand's private seeding constants,
+	// recovered at init.
+	rngCooked [rngLen]int64
+	// seedJumpOK reports that recovery succeeded and the fast source
+	// reproduces math/rand streams exactly.
+	seedJumpOK bool
+)
+
+// rngSourceMirror matches the memory layout of math/rand's rngSource.
+type rngSourceMirror struct {
+	tap, feed int
+	vec       [rngLen]int64
+}
+
+func init() {
+	p := uint64(1)
+	for k := 0; k < 21; k++ {
+		p = p * lcgA % int32max
+	}
+	for i := 0; i < rngLen; i++ {
+		lcgJump[i] = p
+		for k := 0; k < 3; k++ {
+			p = p * lcgA % int32max
+		}
+	}
+	seedJumpOK = recoverCooked() && verifySeedJump()
+}
+
+// normSeed replicates rngSource.Seed's reduction of the seed to the
+// initial Lehmer state.
+func normSeed(seed int64) uint64 {
+	seed = seed % int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	return uint64(seed)
+}
+
+// recoverCooked extracts math/rand's seeding constants by seeding a real
+// source and XOR-ing out the (reproducible) Lehmer contribution.
+func recoverCooked() bool {
+	src := rand.NewSource(1)
+	v := reflect.ValueOf(src)
+	if v.Kind() != reflect.Pointer {
+		return false
+	}
+	m := (*rngSourceMirror)(unsafe.Pointer(v.Pointer()))
+	if m.tap != 0 || m.feed != rngLen-rngTap {
+		return false
+	}
+	x := normSeed(1)
+	for k := 0; k < 20; k++ {
+		x = x * lcgA % int32max
+	}
+	for i := 0; i < rngLen; i++ {
+		x = x * lcgA % int32max
+		u := int64(x) << 40
+		x = x * lcgA % int32max
+		u ^= int64(x) << 20
+		x = x * lcgA % int32max
+		u ^= int64(x)
+		rngCooked[i] = m.vec[i] ^ u
+	}
+	return true
+}
+
+// verifySeedJump cross-checks the fast source against math/rand on a
+// spread of seeds, past the lazy window (273 draws), the feed wrap
+// (334) and a full vector cycle (607), plus mid-stream reseeds.
+func verifySeedJump() bool {
+	fs := new(fastSource)
+	for _, seed := range []int64{1, 2006, 0, -1, -5, 89482311, int32max, int32max + 1, 1 << 62, -1 << 62} {
+		ref := rand.NewSource(seed).(rand.Source64)
+		fs.Seed(seed)
+		for j := 0; j < 1500; j++ {
+			if ref.Uint64() != fs.Uint64() {
+				return false
+			}
+		}
+	}
+	for depth := 0; depth < 700; depth += 61 {
+		fs.Seed(7)
+		for j := 0; j < depth; j++ {
+			fs.Uint64()
+		}
+		ref := rand.NewSource(2006).(rand.Source64)
+		fs.Seed(2006)
+		for j := 0; j < 800; j++ {
+			if ref.Uint64() != fs.Uint64() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SeedJumpEnabled reports whether the O(1)-reseed source is active. When
+// false (unexpected runtime layout), stats falls back to stock math/rand
+// seeding: identical streams, slower Reseed.
+func SeedJumpEnabled() bool { return seedJumpOK }
+
+// fastSource is a rand.Source64 emitting exactly the stream of
+// math/rand's default source for the same seed. Until the 274th draw of
+// a seeding it stays lazy, computing only the two state entries each
+// draw touches; a longer-lived stream materializes the full vector once
+// and proceeds like the original. Not safe for concurrent use.
+type fastSource struct {
+	vec       [rngLen]int64
+	x0        uint64 // normalized Lehmer seed
+	tap, feed int
+	drawn     int // draws since Seed while lazy
+	lazy      bool
+}
+
+// Seed repositions the stream for seed in O(1).
+func (s *fastSource) Seed(seed int64) {
+	s.x0 = normSeed(seed)
+	s.drawn = 0
+	s.lazy = true
+}
+
+// entry returns seeded-vector entry i for the current seed.
+func (s *fastSource) entry(i int) int64 {
+	x := s.x0 * lcgJump[i] % int32max
+	u := int64(x) << 40
+	x = x * lcgA % int32max
+	u ^= int64(x) << 20
+	x = x * lcgA % int32max
+	u ^= int64(x)
+	return u ^ rngCooked[i]
+}
+
+// materialize fills the rest of the vector so drawing can continue past
+// the lazy window. Entries already overwritten by lazy draws (the feed
+// positions) are kept: the generator's recurrence reads them later.
+func (s *fastSource) materialize() {
+	for i := 0; i <= rngLen-rngTap-1-s.drawn; i++ {
+		s.vec[i] = s.entry(i)
+	}
+	for i := rngLen - rngTap; i < rngLen; i++ {
+		s.vec[i] = s.entry(i)
+	}
+	s.tap = ((0-s.drawn)%rngLen + rngLen) % rngLen
+	s.feed = ((rngLen-rngTap-s.drawn)%rngLen + rngLen) % rngLen
+	s.lazy = false
+}
+
+func (s *fastSource) Uint64() uint64 {
+	if s.lazy {
+		if s.drawn < rngTap {
+			f := rngLen - rngTap - 1 - s.drawn
+			t := rngLen - 1 - s.drawn
+			x := s.entry(f) + s.entry(t)
+			s.vec[f] = x
+			s.drawn++
+			return uint64(x)
+		}
+		s.materialize()
+	}
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+func (s *fastSource) Int63() int64 { return int64(s.Uint64() & rngMask) }

@@ -16,15 +16,38 @@ import (
 
 // RNG is a deterministic source of random samples. It wraps math/rand
 // with the sampling primitives the variation model needs. It is not safe
-// for concurrent use; derive independent streams with Split.
+// for concurrent use; derive independent streams with Split, or reuse
+// one generator across many short streams with Reseed.
 type RNG struct {
 	seed int64
 	r    *rand.Rand
+	fsrc *fastSource // O(1)-reseed source (nil when unavailable)
+	src  rand.Source // stock source fallback
 }
 
 // NewRNG returns a deterministic generator seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+	if seedJumpOK {
+		fs := new(fastSource)
+		fs.Seed(seed)
+		return &RNG{seed: seed, r: rand.New(fs), fsrc: fs}
+	}
+	src := rand.NewSource(seed)
+	return &RNG{seed: seed, r: rand.New(src), src: src}
+}
+
+// Reseed repositions the generator at the start of the stream for seed,
+// producing exactly the sequence a fresh NewRNG(seed) would. It never
+// allocates, and with the seed-jump source it is O(1), which is what
+// lets the Monte Carlo measurement kernel draw one short stream per
+// region node without re-seeding cost.
+func (g *RNG) Reseed(seed int64) {
+	g.seed = seed
+	if g.fsrc != nil {
+		g.fsrc.Seed(seed)
+		return
+	}
+	g.src.Seed(seed)
 }
 
 // MixSeed derives a child seed from a parent seed and a label using a

@@ -1,0 +1,84 @@
+package variation
+
+import "testing"
+
+// TestScratchMatchesNodeTree pins the shared-draw contract: the
+// value-typed scratch path must reproduce the pointer-based node tree
+// draw for draw, at every level of the hierarchy.
+func TestScratchMatchesNodeTree(t *testing.T) {
+	s := NewSampler(Nassif45nm(), PaperFactors(), 2006)
+	sc := s.NewScratch()
+	for id := 0; id < 25; id++ {
+		root := s.Chip(id)
+		rootD := sc.Chip(id)
+		if root.Values != rootD.Values {
+			t.Fatalf("chip %d: root values differ\nnode:  %v\ndraw:  %v", id, root.Values, rootD.Values)
+		}
+		for w := 0; w < 4; w++ {
+			way := root.Way(w)
+			wayD := sc.Way(&rootD, w)
+			if way.Values != wayD.Values {
+				t.Fatalf("chip %d way %d: values differ", id, w)
+			}
+			blk := way.Block(3)
+			blkD := sc.Block(&wayD, 3)
+			if blk.Values != blkD.Values {
+				t.Fatalf("chip %d way %d block: values differ", id, w)
+			}
+			row := blk.Row(9)
+			rowD := sc.Row(&blkD, 9)
+			if row.Values != rowD.Values {
+				t.Fatalf("chip %d way %d row: values differ", id, w)
+			}
+			bit := row.Bit(1)
+			bitD := sc.Bit(&rowD, 1)
+			if bit.Values != bitD.Values {
+				t.Fatalf("chip %d way %d bit: values differ", id, w)
+			}
+			mm := blk.Child(1.0, 9000)
+			mmD := sc.Child(&blkD, 1.0, 9000)
+			if mm.Values != mmD.Values {
+				t.Fatalf("chip %d way %d full-range child: values differ", id, w)
+			}
+			for p := Param(0); p < NumParams; p++ {
+				if row.Delta(p) != sc.Delta(&rowD, p) {
+					t.Fatalf("chip %d way %d param %v: deltas differ", id, w, p)
+				}
+			}
+		}
+	}
+}
+
+// TestAsDrawBridges checks that a Node can enter the scratch path
+// mid-tree and keep producing identical subtrees.
+func TestAsDrawBridges(t *testing.T) {
+	s := NewSampler(Nassif45nm(), PaperFactors(), 7)
+	n := s.Chip(3).Way(2)
+	d := n.AsDraw()
+	sc := n.NewScratch()
+	if n.Values != d.Values {
+		t.Fatal("AsDraw changed values")
+	}
+	a := n.Block(5).Row(1)
+	bD := sc.Block(&d, 5)
+	b := sc.Row(&bD, 1)
+	if a.Values != b.Values {
+		t.Fatal("subtree from AsDraw diverges from node subtree")
+	}
+}
+
+// TestScratchZeroAlloc verifies drawing through a warm scratch never
+// touches the heap.
+func TestScratchZeroAlloc(t *testing.T) {
+	s := NewSampler(Nassif45nm(), PaperFactors(), 2006)
+	sc := s.NewScratch()
+	allocs := testing.AllocsPerRun(100, func() {
+		chip := sc.Chip(11)
+		way := sc.Way(&chip, 3)
+		blk := sc.Block(&way, 2)
+		sc.Row(&blk, 4)
+	})
+	if allocs != 0 {
+		t.Errorf("scratch draws allocate %.1f times per run, want 0", allocs)
+	}
+}

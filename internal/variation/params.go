@@ -81,6 +81,16 @@ func (s Spec) Bound(p Param) float64 {
 	return s.Nominal[p] * s.Sigma3Pct[p] / 100
 }
 
+// DeltaOf returns the fractional deviation of value from p's nominal:
+// (value - nominal) / nominal, or 0 when the nominal is zero.
+func (s *Spec) DeltaOf(p Param, value float64) float64 {
+	nom := s.Nominal[p]
+	if nom == 0 {
+		return 0
+	}
+	return (value - nom) / nom
+}
+
 // Factors holds the spatial correlation factors of Section 3. They scale
 // the Table 1 range when a child region is drawn around its parent.
 type Factors struct {

@@ -90,9 +90,103 @@ func (n *Node) Bit(label int64) *Node {
 // (value - nominal) / nominal. Circuit models consume deltas so they
 // stay unit-agnostic.
 func (n *Node) Delta(p Param) float64 {
-	nom := n.spec.Nominal[p]
-	if nom == 0 {
-		return 0
+	return n.spec.DeltaOf(p, n.Values[p])
+}
+
+// AsDraw returns the node's value-typed form for the scratch-based
+// measurement path. The draw reproduces the node exactly: same values,
+// and children derived from it match the node's children draw for draw.
+func (n *Node) AsDraw() Draw {
+	return Draw{Values: n.Values, seed: n.rng.Seed()}
+}
+
+// NewScratch returns a scratch sharing the node's spec and correlation
+// factors, for deriving the node's subtree without allocation.
+func (n *Node) NewScratch() *Scratch {
+	return &Scratch{spec: n.spec, fact: n.fact, seed: n.rng.Seed(), rng: stats.NewRNG(0)}
+}
+
+// Draw is a value-typed variation node: the sampled parameter values
+// plus the seed of the node's random stream, from which children are
+// derived. Unlike Node it carries no generator or spec of its own —
+// a Scratch performs the sampling — so the Monte Carlo measurement
+// kernel can hold draws in reusable buffers with zero heap traffic.
+type Draw struct {
+	Values Values
+	seed   int64
+}
+
+// Scratch is the per-worker sampling state of the allocation-free
+// measurement path: one reusable generator plus the spec and factors.
+// A Scratch draws exactly the streams the Node tree would — chip i's
+// subtree is a pure function of (seed, i) either way — but repositions
+// one generator per region instead of allocating one. Not safe for
+// concurrent use; give each worker its own.
+type Scratch struct {
+	spec Spec
+	fact Factors
+	seed int64 // master sampler seed, used by Chip
+	rng  *stats.RNG
+}
+
+// NewScratch returns a scratch drawing from the sampler's process spec,
+// correlation factors and master seed.
+func (s *Sampler) NewScratch() *Scratch {
+	return &Scratch{spec: s.spec, fact: s.fact, seed: s.seed, rng: stats.NewRNG(0)}
+}
+
+// Spec returns the process specification the scratch draws from.
+func (sc *Scratch) Spec() *Spec { return &sc.spec }
+
+// Chip returns the root draw for chip id, identical to
+// Sampler.Chip(id).Values.
+func (sc *Scratch) Chip(id int) Draw {
+	seed := stats.MixSeed(sc.seed, int64(id)+1)
+	sc.rng.Reseed(seed)
+	d := Draw{seed: seed}
+	for p := Param(0); p < NumParams; p++ {
+		d.Values[p] = sc.rng.TruncNormal(sc.spec.Nominal[p], sc.spec.Sigma(p), sc.spec.Bound(p))
 	}
-	return (n.Values[p] - nom) / nom
+	return d
+}
+
+// Child draws a sub-region correlated with parent, mirroring Node.Child.
+func (sc *Scratch) Child(parent *Draw, factor float64, label int64) Draw {
+	seed := stats.MixSeed(parent.seed, label)
+	d := Draw{seed: seed}
+	if factor <= 0 {
+		d.Values = parent.Values
+		return d
+	}
+	sc.rng.Reseed(seed)
+	for p := Param(0); p < NumParams; p++ {
+		d.Values[p] = sc.rng.TruncNormal(parent.Values[p], factor*sc.spec.Sigma(p), factor*sc.spec.Bound(p))
+	}
+	return d
+}
+
+// Way mirrors Node.Way for draws.
+func (sc *Scratch) Way(parent *Draw, i int) Draw {
+	return sc.Child(parent, sc.fact.WayFactor(i), int64(1000+i))
+}
+
+// Block mirrors Node.Block for draws.
+func (sc *Scratch) Block(parent *Draw, label int64) Draw {
+	return sc.Child(parent, sc.fact.Block, 2000+label)
+}
+
+// Row mirrors Node.Row for draws.
+func (sc *Scratch) Row(parent *Draw, label int64) Draw {
+	return sc.Child(parent, sc.fact.Row, 3000+label)
+}
+
+// Bit mirrors Node.Bit for draws.
+func (sc *Scratch) Bit(parent *Draw, label int64) Draw {
+	return sc.Child(parent, sc.fact.Bit, 4000+label)
+}
+
+// Delta returns the fractional deviation of parameter p from nominal
+// for a draw, mirroring Node.Delta.
+func (sc *Scratch) Delta(d *Draw, p Param) float64 {
+	return sc.spec.DeltaOf(p, d.Values[p])
 }

@@ -1,7 +1,9 @@
 package yieldcache
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -182,5 +184,39 @@ func TestTable6EndToEnd(t *testing.T) {
 	out := RenderTable6(t6)
 	if !strings.Contains(out, "Weighted Sum") {
 		t.Error("Table 6 rendering incomplete")
+	}
+}
+
+// TestSuiteCPISingleflight pins the check-then-compute fix: concurrent
+// Degradations calls for the same uncached configuration must coalesce
+// onto one suite evaluation per distinct key instead of racing to
+// recompute it.
+func TestSuiteCPISingleflight(t *testing.T) {
+	e := smallPerf()
+	cfg := CacheConfig{WayCycles: []int{5, 4, 4, 4}, HRegionOff: -1}
+	const callers = 16
+	results := make([][]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Degradations(cfg, 0)
+		}(i)
+	}
+	wg.Wait()
+	// Two distinct keys were needed: the baseline and the 5-cycle config.
+	if got := e.computes.Load(); got != 2 {
+		t.Errorf("suite computed %d times for 2 distinct keys across %d concurrent callers", got, callers)
+	}
+	for i := 1; i < callers; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("caller %d saw different degradations", i)
+		}
+	}
+	// Warm calls stay cache hits.
+	e.Degradations(cfg, 0)
+	if got := e.computes.Load(); got != 2 {
+		t.Errorf("warm call recomputed the suite (computes=%d)", got)
 	}
 }

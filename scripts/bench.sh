@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Performance snapshot: runs the headline benchmarks with -benchmem and
+# writes a machine-readable summary to BENCH_pr3.json (ns/op, B/op,
+# allocs/op, and chips/s where the benchmark reports it).
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 3x; pass e.g. 10x or 2s for steadier numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+OUT="BENCH_pr3.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (benchtime=$BENCHTIME) =="
+go test -run '^$' \
+    -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim)$' \
+    -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; chips = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")    ns = $(i - 1)
+        if ($(i) == "B/op")     bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "chips/s")  chips = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (chips != "")  printf ", \"chips_per_sec\": %s", chips
+    printf "}"
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

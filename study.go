@@ -79,8 +79,7 @@ func NewStudy(cfg StudyConfig) *Study {
 	if cfg.Constraints != nil {
 		cons = *cfg.Constraints
 	}
-	reg := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
-	hor := core.BuildPopulation(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, HYAPD: true})
+	reg, hor := core.BuildPopulationPair(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
 	lsp := obs.StartSpan("derive_limits")
 	lim := core.DeriveLimits(reg, cons)
 	lsp.End()
