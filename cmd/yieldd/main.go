@@ -1,0 +1,88 @@
+// Command yieldd serves the yield study as a long-running HTTP JSON
+// service: clients POST study parameters (seed, chips, constraints,
+// scheme set) and get back loss breakdowns, constraint totals and
+// scatter data. Identical requests share one Monte Carlo build
+// (singleflight) and later ones are answered from the result cache;
+// when the bounded build queue fills, requests are shed with 429 and a
+// Retry-After estimate. Metrics are always on, served at /metrics in
+// Prometheus text form. docs/API.md is the endpoint reference.
+//
+// Usage:
+//
+//	yieldd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-chips N]
+//	       [-timeout D] [-max-timeout D] [-drain D]
+//
+// On SIGINT/SIGTERM the server stops admitting builds, drains in-flight
+// jobs for up to the -drain budget, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yieldcache/internal/obs"
+	"yieldcache/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent study builds (each build parallelises across all CPUs)")
+	queue := flag.Int("queue", 8, "builds allowed to queue beyond the running ones before shedding with 429")
+	cache := flag.Int("cache", 128, "result-cache capacity in studies (negative disables caching)")
+	maxChips := flag.Int("max-chips", 20000, "largest accepted Monte Carlo population")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request build timeout (when the request has no timeout_ms)")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request timeouts")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight builds")
+	flag.Parse()
+
+	// A server wants its metrics live at /metrics, not written on exit:
+	// enable the registry unconditionally instead of going through the
+	// batch CLIs' obs.Flags bundle.
+	obs.Enable()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxChips:       *maxChips,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("yieldd: listening on %s (workers %d, queue %d, cache %d)",
+		*addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("yieldd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("yieldd: draining in-flight builds (budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("yieldd: drain incomplete, builds cancelled: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("yieldd: shutdown: %v", err)
+	}
+	log.Printf("yieldd: stopped")
+}

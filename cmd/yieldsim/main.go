@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	yieldsim [-chips N] [-seed S] [-constraints nominal|relaxed|strict] [-csv]
+//	yieldsim [-chips N] [-seed S] [-constraints nominal|relaxed|strict] [-csv] [-save pop.gob]
 //	         [-metrics-out m.json] [-trace-out t.json] [-manifest-out run.json] [-pprof addr]
 package main
 

@@ -1,6 +1,7 @@
 package yieldcache_test
 
 import (
+	"context"
 	"fmt"
 
 	"yieldcache"
@@ -47,6 +48,34 @@ func ExampleScheme() {
 	fmt.Printf("hybrid sells most of the 200 chips: %v\n", saved > 180)
 	// Output:
 	// hybrid sells most of the 200 chips: true
+}
+
+// Table 6 prices each saved-chip configuration in CPI. A small
+// population and short traces keep the example fast; the relations it
+// checks hold at paper scale too.
+func ExampleStudy_Table6() {
+	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: 300, Seed: 2006})
+	eval := yieldcache.NewPerfEvaluator(yieldcache.PerfConfig{Instructions: 20_000})
+	t6 := study.Table6(eval)
+	fmt.Printf("has configuration rows: %v\n", len(t6.Rows) > 0)
+	fmt.Printf("hybrid no costlier than pure binning: %v\n", t6.HybridSum <= t6.VACASum)
+	fmt.Printf("all degradations are losses, not gains: %v\n",
+		t6.YAPDSum >= 0 && t6.VACASum >= 0 && t6.HybridSum >= 0)
+	// Output:
+	// has configuration rows: true
+	// hybrid no costlier than pure binning: true
+	// all degradations are losses, not gains: true
+}
+
+// NewStudyCtx threads a context into the Monte Carlo build, so servers
+// and batch drivers can abort long population builds.
+func ExampleNewStudyCtx() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // abort before the build starts
+	_, err := yieldcache.NewStudyCtx(ctx, yieldcache.StudyConfig{Chips: 2000})
+	fmt.Println(err)
+	// Output:
+	// context canceled
 }
 
 // The cost model prices degraded parts on a performance-indexed curve.

@@ -94,15 +94,37 @@ func (s *Study) MeasurementStudy(scheme Scheme, mm MeasurementModel) TestOutcome
 	return core.EvaluateUnderNoise(s.Regular, s.Limits, scheme, mm)
 }
 
-// Schemes exposed for composition by downstream users.
-func SchemeBase() Scheme                  { return core.Base{} }
-func SchemeYAPD() Scheme                  { return core.YAPD{} }
-func SchemeHYAPD() Scheme                 { return core.HYAPD{} }
-func SchemeVACA() Scheme                  { return core.VACA{} }
+// SchemeBase returns the baseline scheme: ship a chip only if it meets
+// both limits unmodified. Its losses are the "base" column of Table 2.
+func SchemeBase() Scheme { return core.Base{} }
+
+// SchemeYAPD returns yield-aware power-down (Section 4.1): power down
+// whole ways that violate the delay or leakage limit, vertically.
+func SchemeYAPD() Scheme { return core.YAPD{} }
+
+// SchemeHYAPD returns the horizontal variant of YAPD (Section 4.3),
+// which powers down a horizontal region across all ways. Apply it to a
+// study's horizontal population.
+func SchemeHYAPD() Scheme { return core.HYAPD{} }
+
+// SchemeVACA returns variable-access-time cache binning (Section 4.2):
+// slow ways are kept enabled but accessed in extra cycles.
+func SchemeVACA() Scheme { return core.VACA{} }
+
+// SchemeHybrid returns the combined scheme (Section 4.4) that tries
+// VACA-style slow-way binning first and falls back to powering down.
+// With horizontal set it disables horizontal regions instead of ways.
 func SchemeHybrid(horizontal bool) Scheme { return core.Hybrid{Horizontal: horizontal} }
+
+// SchemeNaiveBinning returns the speed-binning strawman: ship every
+// chip at its slowest way's cycle count, provided that count does not
+// exceed maxCycles. No power-down, so leakage violators are lost.
 func SchemeNaiveBinning(maxCycles int) Scheme {
 	return core.NaiveBinning{MaxCycles: maxCycles}
 }
+
+// SchemeLineDisable returns the cache-line-disable comparison point:
+// individual faulty lines are disabled, up to maxFrac of the cache.
 func SchemeLineDisable(maxFrac float64) Scheme {
 	return core.LineDisable{MaxDisabledFrac: maxFrac}
 }
@@ -173,6 +195,7 @@ func RenderTrend(rows []NodeYield) string {
 	return t.String()
 }
 
-// SavePopulation writes the study's regular population to w (gob) so
-// later runs can skip the Monte Carlo (see core.ReadPopulation).
+// SavePopulation writes the study's regular population to w as a
+// versioned gob stream so later runs can skip the Monte Carlo. The
+// yieldsim -save flag uses this; docs/API.md describes the format.
 func (s *Study) SavePopulation(w io.Writer) error { return s.Regular.Save(w) }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yieldcache/internal/circuit"
@@ -79,8 +81,17 @@ func (c *PopulationConfig) fill() {
 // the previous simulations". Evaluation is parallelised across CPUs;
 // the result is independent of the worker count.
 func BuildPopulation(cfg PopulationConfig) *Population {
-	reg, _ := buildPopulations(cfg, false)
+	reg, _, _ := buildPopulations(context.Background(), cfg, false)
 	return reg
+}
+
+// BuildPopulationCtx is BuildPopulation with cancellation: the build
+// stops early (returning ctx.Err()) when ctx is cancelled or its
+// deadline passes. Long-running callers — the yieldd request path in
+// particular — use it to bound the Monte Carlo by a request timeout.
+func BuildPopulationCtx(ctx context.Context, cfg PopulationConfig) (*Population, error) {
+	reg, _, err := buildPopulations(ctx, cfg, false)
+	return reg, err
 }
 
 // BuildPopulationPair samples every chip's variation tree once and
@@ -90,15 +101,24 @@ func BuildPopulation(cfg PopulationConfig) *Population {
 // the "same process variation parameters" guarantee holds by
 // construction — and the sampling cost is paid once instead of twice.
 func BuildPopulationPair(cfg PopulationConfig) (regular, horizontal *Population) {
-	return buildPopulations(cfg, true)
+	regular, horizontal, _ = buildPopulations(context.Background(), cfg, true)
+	return regular, horizontal
 }
 
-// buildPopulations is the single-pass Monte Carlo engine behind both
+// BuildPopulationPairCtx is BuildPopulationPair with cancellation,
+// mirroring BuildPopulationCtx.
+func BuildPopulationPairCtx(ctx context.Context, cfg PopulationConfig) (regular, horizontal *Population, err error) {
+	return buildPopulations(ctx, cfg, true)
+}
+
+// buildPopulations is the single-pass Monte Carlo engine behind all
 // entry points. Each worker owns a variation scratch, a measurement
 // evaluator and a stripe of the chip arena, so the hot loop performs no
 // heap allocation: way/bank/path measurement storage comes from flat
-// arrays sliced up front.
-func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population) {
+// arrays sliced up front. Cancellation is polled once per chip — an
+// atomic flag set by a watcher goroutine, so the hot loop never touches
+// the context directly.
+func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Population, *Population, error) {
 	cfg.fill()
 	spanName := "build_population"
 	if pair {
@@ -122,6 +142,21 @@ func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population
 		horChips = newChipArena(cfg.N, geom)
 	}
 
+	// Cancellation: the workers poll one shared atomic per chip instead
+	// of selecting on ctx.Done() in the hot loop.
+	var cancelled atomic.Bool
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+
 	workers := cfg.Workers
 	workerSec := obs.H("core_population_worker_seconds", obs.ExpBuckets(1e-4, 4, 10))
 	var wg sync.WaitGroup
@@ -133,6 +168,9 @@ func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population
 			t0 := time.Now()
 			ev := regModel.NewEvaluator(sampler.NewScratch())
 			for i := start; i < cfg.N; i += workers {
+				if cancelled.Load() {
+					break
+				}
 				chip := ev.Scratch().Chip(i)
 				if pair {
 					ev.MeasurePair(&chip, &regChips[i].Meas, &horChips[i].Meas)
@@ -145,6 +183,10 @@ func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		obs.C("core_population_builds_cancelled_total").Inc()
+		return nil, nil, err
+	}
 
 	measured := cfg.N
 	if pair {
@@ -158,9 +200,9 @@ func buildPopulations(cfg PopulationConfig, pair bool) (*Population, *Population
 	}
 	reg := &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
 	if !pair {
-		return reg, nil
+		return reg, nil, nil
 	}
-	return reg, &Population{Chips: horChips, Model: horModel, Seed: cfg.Seed}
+	return reg, &Population{Chips: horChips, Model: horModel, Seed: cfg.Seed}, nil
 }
 
 // newChipArena allocates a chip slice whose per-chip measurement slices

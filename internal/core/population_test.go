@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // goldenChip pins a chip's measurement to hex-exact values captured
@@ -107,6 +109,38 @@ func TestWorkerCountIndependence(t *testing.T) {
 	s8, w8 := BuildPopulationPair(PopulationConfig{N: 50, Seed: 2006, Workers: 8})
 	if !reflect.DeepEqual(sp.Chips, s8.Chips) || !reflect.DeepEqual(wp.Chips, w8.Chips) {
 		t.Fatal("pair population depends on worker count")
+	}
+}
+
+// TestBuildPopulationCtxCancellation checks that the ctx-aware builders
+// abort early: a cancelled context returns its error without building,
+// and an expiring deadline stops a large build well before completion.
+func TestBuildPopulationCtxCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildPopulationCtx(cancelled, PopulationConfig{N: 10, Seed: 1}); err != context.Canceled {
+		t.Errorf("BuildPopulationCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, _, err := BuildPopulationPairCtx(cancelled, PopulationConfig{N: 10, Seed: 1}); err != context.Canceled {
+		t.Errorf("BuildPopulationPairCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	t0 := time.Now()
+	_, _, err := BuildPopulationPairCtx(ctx, PopulationConfig{N: 200_000, Seed: 1})
+	if err != context.DeadlineExceeded {
+		t.Errorf("deadline build = %v, want context.DeadlineExceeded", err)
+	}
+	// 200k chips take tens of seconds; the abort must be near-immediate
+	// (worker cancellation polls once per chip).
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Errorf("cancelled build took %s", elapsed)
+	}
+
+	// The background-context paths are unaffected.
+	if p := BuildPopulation(PopulationConfig{N: 5, Seed: 1}); len(p.Chips) != 5 {
+		t.Error("BuildPopulation broken after ctx refactor")
 	}
 }
 

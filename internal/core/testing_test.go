@@ -39,13 +39,13 @@ func TestPerturbConsistency(t *testing.T) {
 				t.Fatal("noisy way latency inconsistent with banks")
 			}
 		}
-		if maxWay != n.LatencyPS || !close(leak, n.LeakageW) {
+		if maxWay != n.LatencyPS || !approxEq(leak, n.LeakageW) {
 			t.Fatal("noisy cache aggregates inconsistent")
 		}
 	}
 }
 
-func close(a, b float64) bool {
+func approxEq(a, b float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

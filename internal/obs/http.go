@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// MetricsHandler returns an http.Handler serving the default metrics
+// registry in the Prometheus text exposition format — the /metrics
+// endpoint of yieldd. With observability disabled it serves an empty
+// (valid) exposition.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A nil default registry writes nothing, which is a valid
+		// (empty) exposition.
+		_ = Default().WritePrometheus(w)
+	})
+}
+
+// statusWriter records the first status code a handler writes so the
+// Instrument middleware can label its request counter with it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Instrument wraps h with per-request metrics on the default registry:
+// a counter http_requests_total{handler,code} and a latency histogram
+// http_request_seconds{handler}. The handler label should be a short
+// static name (one per route), not the raw URL, to keep the series
+// cardinality bounded.
+func Instrument(handler string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		C(`http_requests_total{handler="` + handler + `",code="` + strconv.Itoa(code) + `"}`).Inc()
+		H(`http_request_seconds{handler="`+handler+`"}`, ExpBuckets(1e-3, 4, 10)).
+			Observe(time.Since(t0).Seconds())
+	})
+}

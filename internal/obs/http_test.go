@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+	reg.Counter("demo_total").Add(3)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "# TYPE demo_total counter\ndemo_total 3\n") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+}
+
+func TestMetricsHandlerDisabled(t *testing.T) {
+	Disable()
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Errorf("disabled registry: status %d, body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+
+	h := Instrument("demo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	}))
+	for _, path := range []string{"/", "/", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+
+	if got := reg.Counter(`http_requests_total{handler="demo",code="200"}`).Value(); got != 2 {
+		t.Errorf("200 count = %d, want 2", got)
+	}
+	if got := reg.Counter(`http_requests_total{handler="demo",code="404"}`).Value(); got != 1 {
+		t.Errorf("404 count = %d, want 1", got)
+	}
+	if got := reg.Histogram(`http_request_seconds{handler="demo"}`, nil).Count(); got != 3 {
+		t.Errorf("latency observations = %d, want 3", got)
+	}
+}

@@ -1,0 +1,591 @@
+// Package server implements yieldd, the yield-analysis service: an HTTP
+// JSON API over the yieldcache facade. Requests name a study by its
+// canonical parameters (seed, chips, constraints, scheme set); the
+// server runs the Monte Carlo on a bounded worker pool, coalesces
+// concurrent identical requests onto one build (singleflight), caches
+// finished results by canonical key, sheds load with 429 + Retry-After
+// when the queue is full, honours per-request timeouts threaded into
+// the population build, and drains in-flight jobs on shutdown.
+// docs/API.md documents the wire format; docs/ARCHITECTURE.md places
+// the package in the repo's dependency stack.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yieldcache"
+	"yieldcache/internal/obs"
+)
+
+// Config parameterises the service. Zero fields take the defaults
+// documented on each field.
+type Config struct {
+	// Workers is the number of concurrent study builds (default 2; each
+	// build already parallelises across all CPUs).
+	Workers int
+	// QueueDepth is how many builds may wait for a worker beyond the
+	// ones running; admission beyond Workers+QueueDepth is refused with
+	// 429 (default 8).
+	QueueDepth int
+	// CacheEntries caps the result cache, evicting oldest-first
+	// (default 128; 0 keeps the default, negative disables caching).
+	CacheEntries int
+	// MaxChips is the largest accepted population size (default 20000).
+	MaxChips int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts (default 2m).
+	MaxTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxChips <= 0 {
+		c.MaxChips = 20000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+}
+
+// studyBuilder builds a study; tests swap it for a controllable fake.
+type studyBuilder func(ctx context.Context, cfg yieldcache.StudyConfig) (*yieldcache.Study, error)
+
+// call is one in-progress build; requests for the same canonical key
+// wait on done instead of building again.
+type call struct {
+	done chan struct{}
+	res  *StudyResponse // immutable once done is closed
+	err  error
+}
+
+// Server is the yieldd request handler plus its job queue and caches.
+type Server struct {
+	cfg   Config
+	build studyBuilder
+
+	baseCtx context.Context // parent of every build; cancelled on forced stop
+	cancel  context.CancelFunc
+
+	slots chan struct{} // worker pool: holds a token per running build
+
+	mu       sync.Mutex
+	jobs     int // builds admitted (queued + running)
+	inflight map[string]*call
+	cache    map[string]*StudyResponse
+	order    []string // cache keys, oldest first
+	draining bool
+
+	wg sync.WaitGroup // tracks builds for Drain
+
+	buildEWMA atomic.Uint64 // float64 bits: smoothed build seconds, for Retry-After
+}
+
+// New returns a Server over the real yieldcache facade.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg: cfg,
+		build: func(ctx context.Context, sc yieldcache.StudyConfig) (*yieldcache.Study, error) {
+			return yieldcache.NewStudyCtx(ctx, sc)
+		},
+		baseCtx:  ctx,
+		cancel:   cancel,
+		slots:    make(chan struct{}, cfg.Workers),
+		inflight: make(map[string]*call),
+		cache:    make(map[string]*StudyResponse),
+	}
+}
+
+// Handler returns the instrumented route table:
+// POST /v1/study, GET /v1/constraints, GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/study", obs.Instrument("study", http.HandlerFunc(s.handleStudy)))
+	mux.Handle("/v1/constraints", obs.Instrument("constraints", http.HandlerFunc(s.handleConstraints)))
+	mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", obs.Instrument("metrics", obs.MetricsHandler()))
+	return mux
+}
+
+// Drain stops admitting new builds (they get 503) and waits for every
+// in-flight build to finish, or until ctx expires — in which case the
+// remaining builds are cancelled, waited for, and ctx.Err() returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // force: the population build polls cancellation per chip
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels all in-flight builds immediately.
+func (s *Server) Close() { s.cancel() }
+
+// params is a validated, normalised study request.
+type params struct {
+	seed    int64
+	chips   int
+	cons    yieldcache.Constraints
+	schemes []string // canonical order, non-empty
+	scatter bool
+	saved   bool
+	timeout time.Duration
+}
+
+// schemeOrder is the canonical scheme order; request scheme sets are
+// normalised against it so equivalent requests share a cache key.
+var schemeOrder = []string{"YAPD", "VACA", "Hybrid"}
+
+// parseRequest validates a StudyRequest against the server limits and
+// resolves defaults.
+func (s *Server) parseRequest(req *StudyRequest) (params, error) {
+	p := params{seed: req.Seed, chips: req.Chips}
+	if p.seed == 0 {
+		p.seed = 2006
+	}
+	if p.chips == 0 {
+		p.chips = 2000
+	}
+	if p.chips < 0 {
+		return p, fmt.Errorf("chips must be positive, got %d", req.Chips)
+	}
+	if p.chips > s.cfg.MaxChips {
+		return p, fmt.Errorf("chips %d exceeds the server limit %d", p.chips, s.cfg.MaxChips)
+	}
+
+	switch {
+	case req.CustomConstraints != nil && req.Constraints != "":
+		return p, errors.New("constraints and custom_constraints are mutually exclusive")
+	case req.CustomConstraints != nil:
+		c := req.CustomConstraints
+		if c.DelaySigmaK < 0 || c.LeakageMult <= 0 {
+			return p, fmt.Errorf("custom_constraints out of range: delay_sigma_k %g (>= 0), leakage_mult %g (> 0)",
+				c.DelaySigmaK, c.LeakageMult)
+		}
+		p.cons = yieldcache.Constraints{Name: "custom", DelaySigmaK: c.DelaySigmaK, LeakageMult: c.LeakageMult}
+	default:
+		switch req.Constraints {
+		case "", "nominal":
+			p.cons = yieldcache.Nominal()
+		case "relaxed":
+			p.cons = yieldcache.Relaxed()
+		case "strict":
+			p.cons = yieldcache.Strict()
+		default:
+			return p, fmt.Errorf("unknown constraints %q (want nominal, relaxed or strict)", req.Constraints)
+		}
+	}
+
+	if len(req.Schemes) == 0 {
+		p.schemes = schemeOrder
+	} else {
+		want := make(map[string]bool, len(req.Schemes))
+		for _, name := range req.Schemes {
+			ok := false
+			for _, known := range schemeOrder {
+				if name == known {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return p, fmt.Errorf("unknown scheme %q (want a subset of %s)",
+					name, strings.Join(schemeOrder, ", "))
+			}
+			want[name] = true
+		}
+		for _, known := range schemeOrder {
+			if want[known] {
+				p.schemes = append(p.schemes, known)
+			}
+		}
+	}
+
+	p.scatter = req.IncludeScatter
+	p.saved = req.IncludeSavedConfigs
+	if req.TimeoutMS < 0 {
+		return p, fmt.Errorf("timeout_ms must be positive, got %d", req.TimeoutMS)
+	}
+	p.timeout = s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		p.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if p.timeout > s.cfg.MaxTimeout {
+		p.timeout = s.cfg.MaxTimeout
+	}
+	return p, nil
+}
+
+// key is the canonical cache/singleflight key: every request that must
+// produce the same populations and breakdown columns shares it. The
+// include_* presentation flags and the timeout are deliberately
+// excluded — they shape the response, not the computation.
+func (p params) key() string {
+	return fmt.Sprintf("%d/%d/%s:%x:%x/%s",
+		p.seed, p.chips, p.cons.Name, p.cons.DelaySigmaK, p.cons.LeakageMult,
+		strings.Join(p.schemes, "+"))
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req StudyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	p, err := s.parseRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := p.key()
+
+	s.mu.Lock()
+	if res, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		obs.C("server_study_cache_hits_total").Inc()
+		writeResult(w, res, p, true)
+		return
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		obs.C("server_study_coalesced_total").Inc()
+		s.await(w, r, c, p)
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.jobs >= s.cfg.Workers+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		obs.C("server_study_shed_total").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "build queue is full")
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.jobs++
+	obs.G("server_jobs_admitted").Set(float64(s.jobs))
+	s.wg.Add(1)
+	s.mu.Unlock()
+	obs.C("server_study_cache_misses_total").Inc()
+
+	go s.run(key, p, c)
+	s.await(w, r, c, p)
+}
+
+// run executes one admitted build: queue for a worker slot, build the
+// study under the request timeout, publish the result to the cache and
+// wake every waiter. It runs detached from the initiating request so a
+// client disconnect does not waste the work for coalesced waiters.
+func (s *Server) run(key string, p params, c *call) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
+	defer cancel()
+
+	queued := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+		obs.H("server_queue_wait_seconds", obs.ExpBuckets(1e-4, 4, 10)).
+			Observe(time.Since(queued).Seconds())
+		c.res, c.err = s.compute(ctx, p)
+		<-s.slots
+	case <-ctx.Done():
+		c.err = fmt.Errorf("waiting for a worker: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil && s.cfg.CacheEntries > 0 {
+		if _, dup := s.cache[key]; !dup {
+			for len(s.cache) >= s.cfg.CacheEntries {
+				oldest := s.order[0]
+				s.order = s.order[1:]
+				delete(s.cache, oldest)
+				obs.C("server_study_cache_evictions_total").Inc()
+			}
+			s.cache[key] = c.res
+			s.order = append(s.order, key)
+		}
+	}
+	s.jobs--
+	obs.G("server_jobs_admitted").Set(float64(s.jobs))
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// compute builds the populations and assembles the full (unfiltered)
+// response. Scatter and saved configurations are always computed — they
+// are cheap next to the build — so a cached entry can serve any
+// combination of include_* flags.
+func (s *Server) compute(ctx context.Context, p params) (*StudyResponse, error) {
+	t0 := time.Now()
+	study, err := s.build(ctx, yieldcache.StudyConfig{Chips: p.chips, Seed: p.seed, Constraints: &p.cons})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0).Seconds()
+	obs.H("server_build_seconds", obs.ExpBuckets(1e-3, 4, 10)).Observe(elapsed)
+	s.observeBuild(elapsed)
+
+	extra := []yieldcache.Constraints{yieldcache.Relaxed(), yieldcache.Strict()}
+	res := &StudyResponse{
+		Seed:  p.seed,
+		Chips: p.chips,
+		Constraints: ConstraintsInfo{
+			Name:        p.cons.Name,
+			DelaySigmaK: p.cons.DelaySigmaK,
+			LeakageMult: p.cons.LeakageMult,
+		},
+		Limits:           LimitsInfo{DelayPS: study.Limits.DelayPS, LeakageW: study.Limits.LeakageW},
+		Regular:          toBreakdown(study.Breakdown(regularSchemes(p.schemes)...)),
+		Horizontal:       toBreakdown(study.BreakdownHorizontal(horizontalSchemes(p.schemes)...)),
+		RegularTotals:    toTotals(study.Totals(extra, regularSchemes(p.schemes)...)),
+		HorizontalTotals: toTotals(study.TotalsHorizontal(extra, horizontalSchemes(p.schemes)...)),
+		ElapsedMS:        elapsed * 1e3,
+	}
+	for _, pt := range study.Figure8() {
+		res.Scatter = append(res.Scatter, ScatterPoint{
+			LatencyPS:         pt.LatencyPS,
+			NormalizedLeakage: pt.NormalizedLeakage,
+			Reason:            pt.Reason.String(),
+		})
+	}
+	for _, sc := range study.SavedConfigurations() {
+		res.SavedConfigs = append(res.SavedConfigs, SavedConfig{
+			N4: sc.Key.N4, N5: sc.Key.N5, N6: sc.Key.N6,
+			LeakageLimited: sc.LeakageLimited, Chips: sc.Chips,
+		})
+	}
+	return res, nil
+}
+
+// regularSchemes maps request scheme names to the regular-organisation
+// scheme set (Table 2 columns).
+func regularSchemes(names []string) []yieldcache.Scheme {
+	out := make([]yieldcache.Scheme, len(names))
+	for i, n := range names {
+		switch n {
+		case "YAPD":
+			out[i] = yieldcache.SchemeYAPD()
+		case "VACA":
+			out[i] = yieldcache.SchemeVACA()
+		case "Hybrid":
+			out[i] = yieldcache.SchemeHybrid(false)
+		}
+	}
+	return out
+}
+
+// horizontalSchemes maps request scheme names to their horizontal
+// analogues (Table 3 columns): YAPD becomes H-YAPD and the Hybrid
+// powers down horizontal regions.
+func horizontalSchemes(names []string) []yieldcache.Scheme {
+	out := make([]yieldcache.Scheme, len(names))
+	for i, n := range names {
+		switch n {
+		case "YAPD":
+			out[i] = yieldcache.SchemeHYAPD()
+		case "VACA":
+			out[i] = yieldcache.SchemeVACA()
+		case "Hybrid":
+			out[i] = yieldcache.SchemeHybrid(true)
+		}
+	}
+	return out
+}
+
+func toBreakdown(bd yieldcache.LossBreakdown) Breakdown {
+	out := Breakdown{
+		N:         bd.N,
+		BaseTotal: bd.BaseTotal,
+		Totals:    make(map[string]int, len(bd.Schemes)),
+		Yields:    make(map[string]float64, len(bd.Schemes)+1),
+	}
+	out.Yields["base"] = bd.Yield(-1)
+	for i, s := range bd.Schemes {
+		out.Totals[s.Scheme] = s.Total
+		out.Yields[s.Scheme] = bd.Yield(i)
+	}
+	for _, r := range yieldcache.AllLossReasons() {
+		row := BreakdownRow{
+			Reason:    r.String(),
+			Base:      bd.Base[r],
+			Remaining: make(map[string]int, len(bd.Schemes)),
+		}
+		for _, s := range bd.Schemes {
+			row.Remaining[s.Scheme] = s.ByReason[r]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func toTotals(rows []yieldcache.ConstraintTotals) []ConstraintTotals {
+	out := make([]ConstraintTotals, 0, len(rows))
+	for _, r := range rows {
+		row := ConstraintTotals{
+			Constraint: r.Constraint.Name,
+			Base:       r.Base,
+			Totals:     make(map[string]int, len(r.Schemes)),
+		}
+		for _, s := range r.Schemes {
+			row.Totals[s.Scheme] = s.Total
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// await blocks the request on the build (leader and coalesced waiters
+// alike) or the request's own context, whichever ends first.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, c *call, p params) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			if errors.Is(c.err, context.DeadlineExceeded) {
+				obs.C("server_study_timeouts_total").Inc()
+				writeError(w, http.StatusGatewayTimeout, "study timed out: "+c.err.Error())
+			} else if errors.Is(c.err, context.Canceled) {
+				writeError(w, http.StatusServiceUnavailable, "study cancelled: server shutting down")
+			} else {
+				writeError(w, http.StatusInternalServerError, c.err.Error())
+			}
+			return
+		}
+		writeResult(w, c.res, p, false)
+	case <-r.Context().Done():
+		// Client gone (or server closing the connection); the build
+		// keeps running for coalesced waiters and the cache.
+		obs.C("server_requests_abandoned_total").Inc()
+		writeError(w, http.StatusGatewayTimeout, "request cancelled")
+	}
+}
+
+func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sets := []yieldcache.Constraints{yieldcache.Nominal(), yieldcache.Relaxed(), yieldcache.Strict()}
+	out := make([]ConstraintsInfo, 0, len(sets))
+	for _, c := range sets {
+		out = append(out, ConstraintsInfo{Name: c.Name, DelaySigmaK: c.DelaySigmaK, LeakageMult: c.LeakageMult})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"constraints": out, "schemes": schemeOrder})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, jobs := s.draining, s.jobs
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "jobs": jobs})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": jobs})
+}
+
+// observeBuild folds one build duration into the smoothed estimate
+// behind Retry-After.
+func (s *Server) observeBuild(seconds float64) {
+	for {
+		old := s.buildEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := seconds
+		if prev > 0 {
+			next = 0.7*prev + 0.3*seconds
+		}
+		if s.buildEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds advises a shed client when a worker is likely to
+// free up: one smoothed build duration, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	est := math.Float64frombits(s.buildEWMA.Load())
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// writeResult sends a shared response with per-request presentation:
+// the Cached flag and the include_* filters apply to a shallow copy, so
+// the cached entry itself stays immutable.
+func writeResult(w http.ResponseWriter, res *StudyResponse, p params, cached bool) {
+	out := *res
+	out.Cached = cached
+	if !p.scatter {
+		out.Scatter = nil
+	}
+	if !p.saved {
+		out.SavedConfigs = nil
+	}
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

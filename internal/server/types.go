@@ -1,0 +1,127 @@
+package server
+
+// StudyRequest is the body of POST /v1/study. Zero fields take the
+// paper's defaults (seed 2006, 2000 chips, nominal constraints, all
+// three schemes). docs/API.md is the authoritative field reference.
+type StudyRequest struct {
+	// Seed drives all process-variation sampling (default 2006).
+	Seed int64 `json:"seed,omitempty"`
+	// Chips is the Monte Carlo population size (default 2000, capped by
+	// the server's -max-chips).
+	Chips int `json:"chips,omitempty"`
+	// Constraints names a yield requirement: nominal, relaxed or strict
+	// (default nominal). Mutually exclusive with CustomConstraints.
+	Constraints string `json:"constraints,omitempty"`
+	// CustomConstraints sets the requirement parameters directly.
+	CustomConstraints *CustomConstraints `json:"custom_constraints,omitempty"`
+	// Schemes selects the yield-aware schemes to evaluate, a subset of
+	// YAPD, VACA, Hybrid (default all). On the horizontal organisation
+	// the analogues H-YAPD and horizontal Hybrid are substituted.
+	Schemes []string `json:"schemes,omitempty"`
+	// IncludeScatter adds the Figure 8 per-chip scatter to the response.
+	IncludeScatter bool `json:"include_scatter,omitempty"`
+	// IncludeSavedConfigs adds the Table 6 row keys (saved way-latency
+	// configurations) to the response.
+	IncludeSavedConfigs bool `json:"include_saved_configs,omitempty"`
+	// TimeoutMS bounds the study build in milliseconds (default and cap
+	// set by the server; exceeding the deadline returns 504).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CustomConstraints is a caller-defined yield requirement: the delay
+// limit sits DelaySigmaK standard deviations above the population mean
+// latency and the leakage limit is LeakageMult times the average.
+type CustomConstraints struct {
+	DelaySigmaK float64 `json:"delay_sigma_k"`
+	LeakageMult float64 `json:"leakage_mult"`
+}
+
+// StudyResponse is the body of a successful POST /v1/study.
+type StudyResponse struct {
+	Seed        int64           `json:"seed"`
+	Chips       int             `json:"chips"`
+	Constraints ConstraintsInfo `json:"constraints"`
+	Limits      LimitsInfo      `json:"limits"`
+	// Regular is the Table 2 loss breakdown (regular power-down cache).
+	Regular Breakdown `json:"regular"`
+	// Horizontal is the Table 3 loss breakdown (horizontal power-down
+	// cache, judged against the regular organisation's limits).
+	Horizontal Breakdown `json:"horizontal"`
+	// RegularTotals and HorizontalTotals are the Table 4/5 rows: total
+	// losses under the relaxed and strict constraint sets.
+	RegularTotals    []ConstraintTotals `json:"regular_totals"`
+	HorizontalTotals []ConstraintTotals `json:"horizontal_totals"`
+	// Scatter is the Figure 8 data (include_scatter only).
+	Scatter []ScatterPoint `json:"scatter,omitempty"`
+	// SavedConfigs are the Table 6 row keys (include_saved_configs only).
+	SavedConfigs []SavedConfig `json:"saved_configs,omitempty"`
+	// Cached reports whether this result came from the result cache
+	// without rebuilding the population.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the wall time of the build that produced the result
+	// (not of this request, when Cached).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ConstraintsInfo echoes the resolved yield requirement.
+type ConstraintsInfo struct {
+	Name        string  `json:"name"`
+	DelaySigmaK float64 `json:"delay_sigma_k"`
+	LeakageMult float64 `json:"leakage_mult"`
+}
+
+// LimitsInfo is the absolute pass/fail thresholds derived from the
+// population under the resolved constraints.
+type LimitsInfo struct {
+	DelayPS  float64 `json:"delay_ps"`
+	LeakageW float64 `json:"leakage_w"`
+}
+
+// Breakdown is one loss-breakdown table: per-reason base losses and,
+// per scheme, the losses that remain.
+type Breakdown struct {
+	N         int            `json:"n"`
+	Rows      []BreakdownRow `json:"rows"`
+	BaseTotal int            `json:"base_total"`
+	// Totals maps scheme name to its remaining loss count.
+	Totals map[string]int `json:"totals"`
+	// Yields maps "base" and each scheme name to the sellable fraction.
+	Yields map[string]float64 `json:"yields"`
+}
+
+// BreakdownRow is one loss-reason row of a Breakdown.
+type BreakdownRow struct {
+	Reason    string         `json:"reason"`
+	Base      int            `json:"base"`
+	Remaining map[string]int `json:"remaining"`
+}
+
+// ConstraintTotals is one Table 4/5 row: total losses under one
+// constraint set.
+type ConstraintTotals struct {
+	Constraint string         `json:"constraint"`
+	Base       int            `json:"base"`
+	Totals     map[string]int `json:"totals"`
+}
+
+// ScatterPoint is one chip of the Figure 8 scatter.
+type ScatterPoint struct {
+	LatencyPS         float64 `json:"latency_ps"`
+	NormalizedLeakage float64 `json:"normalized_leakage"`
+	Reason            string  `json:"reason"`
+}
+
+// SavedConfig is one Table 6 row key: a way-latency configuration and
+// how many saved chips exhibit it.
+type SavedConfig struct {
+	N4             int  `json:"ways_4cyc"`
+	N5             int  `json:"ways_5cyc"`
+	N6             int  `json:"ways_6cyc"`
+	LeakageLimited bool `json:"leakage_limited"`
+	Chips          int  `json:"chips"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

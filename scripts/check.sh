@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Pre-merge gate: formatting, vet, and the full test suite under the
-# race detector (the metrics registry and tracer must stay safe under
-# the parallel population build and PerfEvaluator).
+# Pre-merge gate: formatting, vet, the docs gate (godoc coverage of the
+# facade + README/docs flag sync, see scripts/docgate), and the full
+# test suite under the race detector (the metrics registry, tracer and
+# yieldd server must stay safe under the parallel population build).
 #
 # Usage: scripts/check.sh
 set -eu
@@ -18,6 +19,9 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== docs gate =="
+go run ./scripts/docgate
 
 echo "== go test -race =="
 go test -race ./...

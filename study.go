@@ -1,6 +1,8 @@
 package yieldcache
 
 import (
+	"context"
+
 	"yieldcache/internal/core"
 	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
@@ -36,8 +38,12 @@ var (
 	Strict  = core.Strict
 )
 
-// Loss-reason accessors for the Table 2/3 rows.
-func LossNoneReason() LossReason    { return core.LossNone }
+// LossNoneReason returns the classification of a chip with no
+// parametric violation.
+func LossNoneReason() LossReason { return core.LossNone }
+
+// LossLeakageReason returns the classification of a chip lost to the
+// leakage limit — the Table 2/3 "leakage" row.
 func LossLeakageReason() LossReason { return core.LossLeakage }
 
 // LossDelayWays returns the reason for a delay violation by n ways
@@ -70,6 +76,18 @@ type Study struct {
 // NewStudy builds the Monte Carlo populations and derives the limits
 // from the regular organisation, as in Section 5.1.
 func NewStudy(cfg StudyConfig) *Study {
+	s, err := NewStudyCtx(context.Background(), cfg)
+	if err != nil {
+		// Unreachable: a background context never cancels the build.
+		panic(err)
+	}
+	return s
+}
+
+// NewStudyCtx is NewStudy with cancellation: the Monte Carlo population
+// build aborts early and returns ctx.Err() when ctx is cancelled or its
+// deadline passes. Servers use it to bound a study by a request timeout.
+func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	sp := obs.StartSpan("new_study")
 	defer sp.End()
 	if cfg.Seed == 0 {
@@ -79,7 +97,10 @@ func NewStudy(cfg StudyConfig) *Study {
 	if cfg.Constraints != nil {
 		cons = *cfg.Constraints
 	}
-	reg, hor := core.BuildPopulationPair(core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
+	reg, hor, err := core.BuildPopulationPairCtx(ctx, core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
 	lsp := obs.StartSpan("derive_limits")
 	lim := core.DeriveLimits(reg, cons)
 	lsp.End()
@@ -88,13 +109,40 @@ func NewStudy(cfg StudyConfig) *Study {
 		Horizontal: hor,
 		Cons:       cons,
 		Limits:     lim,
-	}
+	}, nil
+}
+
+// Breakdown classifies the regular population's losses under a
+// caller-chosen scheme set — Table 2 with custom columns. The yieldd
+// study endpoint uses it to honour a request's scheme list.
+func (s *Study) Breakdown(schemes ...Scheme) LossBreakdown {
+	return core.BreakdownLosses(s.Regular, s.Limits, schemes...)
+}
+
+// BreakdownHorizontal classifies the horizontal-power-down population's
+// losses under a caller-chosen scheme set — Table 3 with custom columns.
+// Limits stay those of the regular organisation (see Table3).
+func (s *Study) BreakdownHorizontal(schemes ...Scheme) LossBreakdown {
+	return core.BreakdownLosses(s.Horizontal, s.Limits, schemes...)
+}
+
+// Totals evaluates the regular population under extra constraint sets
+// with a caller-chosen scheme set — Table 4 with custom columns.
+func (s *Study) Totals(cs []Constraints, schemes ...Scheme) []ConstraintTotals {
+	return core.TotalsUnderConstraints(s.Regular, s.Regular, cs, schemes...)
+}
+
+// TotalsHorizontal evaluates the horizontal population under extra
+// constraint sets — Table 5 with custom columns. Limits derive from the
+// regular organisation, as everywhere.
+func (s *Study) TotalsHorizontal(cs []Constraints, schemes ...Scheme) []ConstraintTotals {
+	return core.TotalsUnderConstraints(s.Horizontal, s.Regular, cs, schemes...)
 }
 
 // Table2 returns the loss breakdown of the regular cache under YAPD,
 // VACA and Hybrid.
 func (s *Study) Table2() LossBreakdown {
-	return core.BreakdownLosses(s.Regular, s.Limits, core.YAPD{}, core.VACA{}, core.Hybrid{})
+	return s.Breakdown(core.YAPD{}, core.VACA{}, core.Hybrid{})
 }
 
 // Table3 returns the loss breakdown of the horizontal-power-down cache
@@ -102,22 +150,20 @@ func (s *Study) Table2() LossBreakdown {
 // regular organisation, so the 2.5% H-YAPD latency tax shows up as extra
 // base losses, matching Section 5.1.
 func (s *Study) Table3() LossBreakdown {
-	return core.BreakdownLosses(s.Horizontal, s.Limits,
-		core.HYAPD{}, core.VACA{}, core.Hybrid{Horizontal: true})
+	return s.BreakdownHorizontal(core.HYAPD{}, core.VACA{}, core.Hybrid{Horizontal: true})
 }
 
 // Table4 returns total losses for the relaxed and strict constraint sets
 // on the regular cache.
 func (s *Study) Table4() []ConstraintTotals {
-	return core.TotalsUnderConstraints(s.Regular, s.Regular,
-		[]Constraints{Relaxed(), Strict()}, core.YAPD{}, core.VACA{}, core.Hybrid{})
+	return s.Totals([]Constraints{Relaxed(), Strict()},
+		core.YAPD{}, core.VACA{}, core.Hybrid{})
 }
 
 // Table5 returns total losses for the relaxed and strict constraint sets
 // on the horizontal-power-down cache.
 func (s *Study) Table5() []ConstraintTotals {
-	return core.TotalsUnderConstraints(s.Horizontal, s.Regular,
-		[]Constraints{Relaxed(), Strict()},
+	return s.TotalsHorizontal([]Constraints{Relaxed(), Strict()},
 		core.HYAPD{}, core.VACA{}, core.Hybrid{Horizontal: true})
 }
 
