@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -36,7 +37,7 @@ func main() {
 	run := obsFlags.Activate("cpusim")
 	defer func() {
 		if err := run.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "cpusim: %v\n", err)
+			slog.Error("writing observability outputs", "error", err)
 		}
 	}()
 	run.Manifest.Set("bench", *bench).Set("n", *n).Set("ways", *ways).
@@ -48,7 +49,7 @@ func main() {
 		for _, part := range strings.Split(*ways, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cpusim: bad -ways value %q: %v\n", part, err)
+				slog.Error("bad -ways value", "value", part, "error", err)
 				os.Exit(2)
 			}
 			wayCycles = append(wayCycles, v)
@@ -62,8 +63,8 @@ func main() {
 	} else {
 		p, ok := workload.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cpusim: unknown benchmark %q (have: %s)\n",
-				*bench, strings.Join(workload.Names(), ", "))
+			slog.Error("unknown benchmark", "bench", *bench,
+				"have", strings.Join(workload.Names(), ", "))
 			os.Exit(2)
 		}
 		profiles = []workload.Profile{p}

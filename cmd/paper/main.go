@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -30,7 +31,7 @@ func main() {
 	run := obsFlags.Activate("paper")
 	defer func() {
 		if err := run.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			slog.Error("writing observability outputs", "error", err)
 		}
 	}()
 	run.Manifest.Set("chips", *chips).Set("seed", *seed).
@@ -97,7 +98,7 @@ func main() {
 	section("trend", func() {
 		rows, err := yieldcache.TechnologyTrend(*chips/2, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			slog.Error("technology trend", "error", err)
 			os.Exit(1)
 		}
 		fmt.Println(yieldcache.RenderTrend(rows))
@@ -108,13 +109,13 @@ func main() {
 	section("economics", func() {
 		rows, err := study.Economics(perf, yieldcache.DefaultCostModel())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			slog.Error("economics", "error", err)
 			os.Exit(1)
 		}
 		fmt.Println(yieldcache.RenderEconomics(rows))
 	})
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		slog.Error("unexpected arguments", "args", flag.Args())
 		os.Exit(2)
 	}
 }

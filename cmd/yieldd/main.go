@@ -4,13 +4,17 @@
 // scatter data. Identical requests share one Monte Carlo build
 // (singleflight) and later ones are answered from the result cache;
 // when the bounded build queue fills, requests are shed with 429 and a
-// Retry-After estimate. Metrics are always on, served at /metrics in
-// Prometheus text form. docs/API.md is the endpoint reference.
+// Retry-After estimate. Every admitted build gets its own telemetry
+// scope: live state, progress and ETA at /v1/jobs/{id}, a per-job
+// Chrome trace at /v1/jobs/{id}/trace, and structured logs correlated
+// by job id. Metrics are always on, served at /metrics in Prometheus
+// text form. docs/API.md is the endpoint reference.
 //
 // Usage:
 //
 //	yieldd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-chips N]
-//	       [-timeout D] [-max-timeout D] [-drain D]
+//	       [-timeout D] [-max-timeout D] [-drain D] [-job-history N]
+//	       [-log-format text|json]
 //
 // On SIGINT/SIGTERM the server stops admitting builds, drains in-flight
 // jobs for up to the -drain budget, then exits.
@@ -20,7 +24,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,7 +45,22 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request build timeout (when the request has no timeout_ms)")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request timeouts")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight builds")
+	jobHistory := flag.Int("job-history", 64, "finished jobs kept inspectable via /v1/jobs (evicted oldest-first)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "yieldd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	// A server wants its metrics live at /metrics, not written on exit:
 	// enable the registry unconditionally instead of going through the
@@ -54,6 +74,8 @@ func main() {
 		MaxChips:       *maxChips,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		JobHistory:     *jobHistory,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -66,23 +88,25 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("yieldd: listening on %s (workers %d, queue %d, cache %d)",
-		*addr, *workers, *queue, *cache)
+	logger.Info("yieldd listening",
+		"addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache,
+		"job_history", *jobHistory)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("yieldd: %v", err)
+		logger.Error("yieldd server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("yieldd: draining in-flight builds (budget %s)", *drain)
+	logger.Info("draining in-flight builds", "budget", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("yieldd: drain incomplete, builds cancelled: %v", err)
+		logger.Warn("drain incomplete, builds cancelled", "error", err)
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("yieldd: shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
-	log.Printf("yieldd: stopped")
+	logger.Info("yieldd stopped")
 }

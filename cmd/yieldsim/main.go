@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"yieldcache"
@@ -28,6 +29,13 @@ func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	run := obsFlags.Activate("yieldsim")
+	defer func() {
+		if err := run.Close(); err != nil {
+			slog.Error("writing observability outputs", "error", err)
+		}
+	}()
+
 	var cons yieldcache.Constraints
 	switch *consName {
 	case "nominal":
@@ -37,16 +45,10 @@ func main() {
 	case "strict":
 		cons = yieldcache.Strict()
 	default:
-		fmt.Fprintf(os.Stderr, "yieldsim: unknown constraint set %q\n", *consName)
+		slog.Error("unknown constraint set", "constraints", *consName,
+			"want", "nominal, relaxed or strict")
 		os.Exit(2)
 	}
-
-	run := obsFlags.Activate("yieldsim")
-	defer func() {
-		if err := run.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
-		}
-	}()
 	run.Manifest.Set("chips", *chips).Set("seed", *seed).Set("constraints", *consName)
 
 	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: *chips, Seed: *seed, Constraints: &cons})
@@ -56,18 +58,18 @@ func main() {
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			slog.Error("saving population", "path", *save, "error", err)
 			os.Exit(1)
 		}
 		if err := study.SavePopulation(f); err != nil {
-			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			slog.Error("saving population", "path", *save, "error", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+			slog.Error("saving population", "path", *save, "error", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "population written to %s\n", *save)
+		slog.Info("population written", "path", *save, "chips", *chips, "seed", *seed)
 	}
 
 	if *csv {

@@ -117,7 +117,11 @@ func BuildPopulationPairCtx(ctx context.Context, cfg PopulationConfig) (regular,
 // heap allocation: way/bank/path measurement storage comes from flat
 // arrays sliced up front. Cancellation is polled once per chip — an
 // atomic flag set by a watcher goroutine, so the hot loop never touches
-// the context directly.
+// the context directly. When ctx carries an obs.Scope (the yieldd
+// per-job path), spans land on the scope's tracer instead of the global
+// one and the scope's progress counter advances once per chip at the
+// same poll point, so a running job can report live chips-done counts
+// at no extra hot-loop cost beyond one atomic add.
 func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Population, *Population, error) {
 	cfg.fill()
 	spanName := "build_population"
@@ -126,7 +130,9 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	} else if cfg.HYAPD {
 		spanName = "build_population/hyapd"
 	}
-	sp := obs.StartSpan(spanName)
+	scope := obs.ScopeFrom(ctx)
+	scope.SetProgressTotal(int64(cfg.N))
+	sp := obs.StartSpanCtx(ctx, spanName)
 	defer sp.End()
 	begin := time.Now()
 
@@ -177,6 +183,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 				} else {
 					ev.Measure(&chip, &regChips[i].Meas)
 				}
+				scope.AddProgress(1)
 			}
 			workerSec.Observe(time.Since(t0).Seconds())
 			ws.End()
@@ -197,7 +204,10 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	obs.G("core_population_build_seconds").Set(elapsed)
 	if elapsed > 0 {
 		obs.G("core_population_chips_per_second").Set(float64(measured) / elapsed)
+		scope.G("job_chips_per_second").Set(float64(measured) / elapsed)
 	}
+	scope.C("job_chips_built_total").Add(int64(measured))
+	scope.G("job_build_seconds").Set(elapsed)
 	reg := &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
 	if !pair {
 		return reg, nil, nil

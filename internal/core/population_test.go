@@ -2,10 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"yieldcache/internal/obs"
 )
 
 // goldenChip pins a chip's measurement to hex-exact values captured
@@ -165,5 +169,63 @@ func TestMemoizedColumns(t *testing.T) {
 		if pts[i].NormalizedLeakage != leaks[i]/avg {
 			t.Fatalf("scatter point %d normalisation off", i)
 		}
+	}
+}
+
+// TestBuildProgressMonotonic drives a build with a telemetry scope in
+// the context and polls its progress concurrently: done must never
+// decrease, never exceed total, and must land exactly on N when the
+// build finishes uncancelled.
+func TestBuildProgressMonotonic(t *testing.T) {
+	const n = 400
+	sc := obs.NewScope("test-job", nil)
+	ctx := obs.WithScope(context.Background(), sc)
+
+	stop := make(chan struct{})
+	var pollErr atomic.Value
+	go func() {
+		defer close(stop)
+		var last int64
+		for {
+			done, total := sc.Progress()
+			if done < last {
+				pollErr.Store(fmt.Sprintf("progress went backwards: %d after %d", done, last))
+				return
+			}
+			if total != 0 && done > total {
+				pollErr.Store(fmt.Sprintf("progress overshot: %d/%d", done, total))
+				return
+			}
+			last = done
+			if total != 0 && done == total {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	if _, _, err := BuildPopulationPairCtx(ctx, PopulationConfig{N: n, Seed: 7, Workers: 4}); err != nil {
+		t.Fatalf("build failed: %v", err)
+	}
+	<-stop
+	if msg := pollErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if done, total := sc.Progress(); done != n || total != n {
+		t.Errorf("final progress = %d/%d, want %d/%d", done, total, n, n)
+	}
+}
+
+// TestBuildProgressPartialOnCancel checks a cancelled build leaves
+// progress strictly below total instead of faking completion.
+func TestBuildProgressPartialOnCancel(t *testing.T) {
+	sc := obs.NewScope("test-job", nil)
+	ctx, cancel := context.WithCancel(obs.WithScope(context.Background(), sc))
+	cancel()
+	if _, _, err := BuildPopulationPairCtx(ctx, PopulationConfig{N: 10_000, Seed: 1}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done, total := sc.Progress(); done >= total || total != 10_000 {
+		t.Errorf("cancelled build progress = %d/%d, want done < total = 10000", done, total)
 	}
 }

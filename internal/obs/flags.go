@@ -3,6 +3,7 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers
 	"os"
@@ -16,6 +17,7 @@ type Flags struct {
 	TraceOut    string // Chrome trace_event JSON file
 	ManifestOut string // run-manifest JSON file
 	PprofAddr   string // listen address for net/http/pprof, e.g. localhost:6060
+	LogFormat   string // slog handler for diagnostics: text (default) or json
 }
 
 // AddFlags registers the observability flags on fs.
@@ -29,6 +31,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"write a reproducibility manifest (seed, params, environment) to this file on exit")
 	fs.StringVar(&f.PprofAddr, "pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.LogFormat, "log-format", "text",
+		"structured-log encoding for diagnostics on stderr: text or json")
 	return f
 }
 
@@ -43,10 +47,18 @@ type Run struct {
 
 // Activate switches on whatever the flags ask for: the default metrics
 // registry, the default tracer (with a root span named after the tool),
-// the manifest, and the pprof server. With no flags set it is a no-op
-// and the instrumented code paths stay on their nil fast path.
+// the manifest, the pprof server, and the process's slog default
+// handler (text or json per -log-format). With no flags set only the
+// logger is configured and the instrumented code paths stay on their
+// nil fast path.
 func (f *Flags) Activate(tool string) *Run {
 	r := &Run{flags: f}
+	switch f.LogFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	default:
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
 	if f.MetricsOut != "" {
 		Enable()
 	}

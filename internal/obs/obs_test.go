@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -335,6 +336,20 @@ func BenchmarkObsDisabled(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			StartSpan("phase").End()
+		}
+	})
+	b.Run("span_ctx", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			StartSpanCtx(ctx, "phase").End()
+		}
+	})
+	b.Run("scope_progress", func(b *testing.B) {
+		var s *Scope
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.AddProgress(1)
 		}
 	})
 }

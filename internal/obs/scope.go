@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Scope is one job's telemetry: a private metrics registry, a private
+// phase tracer, a structured logger stamped with the job id, and a
+// lock-free progress counter. Scopes exist so concurrent builds do not
+// interleave their spans in the process-global tracer: the yieldd
+// server creates one Scope per admitted build and threads it through
+// the pipeline via context.Context (WithScope / ScopeFrom), and the
+// per-job trace is later served from Scope.Tracer.
+//
+// Every method is nil-safe, mirroring the package-level C/G/H/StartSpan
+// contract: code instrumented against a Scope pays only a nil check
+// when no scope is attached.
+type Scope struct {
+	// ID names the job; it doubles as the log correlation key.
+	ID string
+	// Registry collects the job's own metrics, separate from the
+	// process-global registry behind /metrics.
+	Registry *Registry
+	// Tracer records the job's phase spans; WriteChromeTrace on it
+	// yields the per-job trace served at /v1/jobs/{id}/trace.
+	Tracer *Tracer
+
+	logger *slog.Logger
+
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+}
+
+// discardLogger swallows log records; the fallback for nil scopes and
+// scopes built without a base logger.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// NewScope returns a fresh Scope with its own registry and tracer. The
+// scope's logger is base with a "job" attribute set to id (a discarding
+// logger when base is nil).
+func NewScope(id string, base *slog.Logger) *Scope {
+	logger := discardLogger
+	if base != nil {
+		logger = base.With("job", id)
+	}
+	return &Scope{
+		ID:       id,
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(),
+		logger:   logger,
+	}
+}
+
+// Log returns the scope's structured logger; never nil.
+func (s *Scope) Log() *slog.Logger {
+	if s == nil || s.logger == nil {
+		return discardLogger
+	}
+	return s.logger
+}
+
+// C returns the named counter of the scope's registry (nil scope →
+// no-op counter).
+func (s *Scope) C(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Counter(name)
+}
+
+// G returns the named gauge of the scope's registry (nil scope → no-op).
+func (s *Scope) G(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Gauge(name)
+}
+
+// H returns the named histogram of the scope's registry (nil scope →
+// no-op). Bounds apply only on first registration of the name.
+func (s *Scope) H(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Histogram(name, bounds)
+}
+
+// StartSpan opens a span on the scope's tracer (nil scope → no-op span).
+func (s *Scope) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer.StartSpan(name)
+}
+
+// SetProgressTotal records the number of work units the job will
+// process — for the population build, the chip count.
+func (s *Scope) SetProgressTotal(n int64) {
+	if s == nil {
+		return
+	}
+	s.progressTotal.Store(n)
+}
+
+// AddProgress adds n completed work units. The build workers call it
+// once per chip at the cancellation poll point, so it must stay one
+// atomic add: no locks, no allocation.
+func (s *Scope) AddProgress(n int64) {
+	if s == nil {
+		return
+	}
+	s.progressDone.Add(n)
+}
+
+// Progress returns the completed and total work-unit counts. done is
+// monotonically non-decreasing over a job's lifetime and equals total
+// once the build has finished uncancelled.
+func (s *Scope) Progress() (done, total int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.progressDone.Load(), s.progressTotal.Load()
+}
+
+// scopeKey is the context key carrying a *Scope.
+type scopeKey struct{}
+
+// WithScope returns a context carrying s; the pipeline's instrumented
+// phases pick it up via ScopeFrom / StartSpanCtx.
+func WithScope(ctx context.Context, s *Scope) context.Context {
+	return context.WithValue(ctx, scopeKey{}, s)
+}
+
+// ScopeFrom returns the scope carried by ctx, or nil when there is none
+// (the CLIs' case: they run one job per process on the global tracer).
+func ScopeFrom(ctx context.Context) *Scope {
+	s, _ := ctx.Value(scopeKey{}).(*Scope)
+	return s
+}
+
+// StartSpanCtx opens a span on the scope carried by ctx, falling back
+// to the default (process-global) tracer when no scope is attached.
+// This is how the core pipeline keeps one instrumentation call site
+// serving both the per-job server path and the global CLI path.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	if s := ScopeFrom(ctx); s != nil {
+		return s.Tracer.StartSpan(name)
+	}
+	return defaultTracer.Load().StartSpan(name)
+}

@@ -133,6 +133,35 @@ func (t *Tracer) snapshot() []spanRec {
 	return out
 }
 
+// SpanInfo is one recorded span in a Spans snapshot.
+type SpanInfo struct {
+	Name   string
+	Parent int // index into the snapshot; -1 for roots
+	Lane   int // Chrome trace lane (tid); 1 is the main pipeline
+	Start  time.Duration
+	End    time.Duration
+	Open   bool // still running at snapshot time (End is the snapshot time)
+}
+
+// Spans returns a point-in-time copy of the recorded spans, open ones
+// closed at "now". The yieldd server uses it to fold a finished job's
+// phase durations into the global /metrics histograms.
+func (t *Tracer) Spans() []SpanInfo {
+	recs := t.snapshot()
+	out := make([]SpanInfo, len(recs))
+	for i, r := range recs {
+		out[i] = SpanInfo{
+			Name:   r.name,
+			Parent: r.parent,
+			Lane:   r.tid,
+			Start:  r.start,
+			End:    r.end,
+			Open:   r.open,
+		}
+	}
+	return out
+}
+
 // WriteChromeTrace writes the span set in the Chrome trace_event JSON
 // array format — load it at chrome://tracing or https://ui.perfetto.dev.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {

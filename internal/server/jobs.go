@@ -1,0 +1,341 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yieldcache/internal/obs"
+)
+
+// Job lifecycle states reported by /v1/jobs.
+const (
+	jobQueued  = "queued"  // admitted, waiting for a worker slot
+	jobRunning = "running" // building the populations
+	jobDone    = "done"    // finished, result published
+	jobFailed  = "failed"  // finished with an error (timeout, cancel, …)
+)
+
+// job is one admitted build and its telemetry scope. The scope's
+// progress counters are updated lock-free by the build workers; every
+// other mutable field is guarded by the owning jobRegistry's mutex.
+type job struct {
+	id    string
+	seq   int64
+	key   string // canonical study key; ties cache hits back to the job
+	scope *obs.Scope
+
+	// Echoed request parameters, immutable after creation.
+	seed        int64
+	chips       int
+	constraints string
+	schemes     []string
+
+	created  time.Time
+	state    string
+	started  time.Time // worker slot acquired
+	finished time.Time
+	errMsg   string
+
+	cacheHits atomic.Int64 // later requests served from this job's cached result
+	coalesced atomic.Int64 // concurrent identical requests that waited on this build
+}
+
+// jobRegistry tracks in-flight jobs and a bounded FIFO history of
+// finished ones, so /v1/jobs stays inspectable without growing without
+// bound. In-flight jobs are never evicted (the admission queue already
+// bounds them); finished jobs beyond maxDone are dropped oldest-first.
+type jobRegistry struct {
+	mu      sync.Mutex
+	seq     int64
+	byID    map[string]*job
+	byKey   map[string]*job // most recent build per canonical key
+	done    []*job          // finished jobs, oldest first
+	maxDone int
+}
+
+func newJobRegistry(maxDone int) *jobRegistry {
+	return &jobRegistry{
+		byID:    make(map[string]*job),
+		byKey:   make(map[string]*job),
+		maxDone: maxDone,
+	}
+}
+
+// create registers a queued job for one admitted build. base is the
+// server's logger; the job's scope stamps it with the job id.
+func (r *jobRegistry) create(p params, key string, base *slog.Logger) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	id := fmt.Sprintf("j%06d", r.seq)
+	j := &job{
+		id:          id,
+		seq:         r.seq,
+		key:         key,
+		scope:       obs.NewScope(id, base),
+		seed:        p.seed,
+		chips:       p.chips,
+		constraints: p.cons.Name,
+		schemes:     p.schemes,
+		created:     time.Now(),
+		state:       jobQueued,
+	}
+	r.byID[id] = j
+	r.byKey[key] = j
+	return j
+}
+
+// markRunning transitions a job to running and returns its queue wait.
+func (r *jobRegistry) markRunning(j *job) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.state = jobRunning
+	j.started = time.Now()
+	return j.started.Sub(j.created)
+}
+
+// finish transitions a job to done/failed and folds it into the bounded
+// history, evicting oldest finished jobs beyond the cap.
+func (r *jobRegistry) finish(j *job, errMsg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.finished = time.Now()
+	if errMsg != "" {
+		j.state, j.errMsg = jobFailed, errMsg
+	} else {
+		j.state = jobDone
+	}
+	r.done = append(r.done, j)
+	for len(r.done) > r.maxDone {
+		old := r.done[0]
+		r.done = r.done[1:]
+		delete(r.byID, old.id)
+		if r.byKey[old.key] == old {
+			delete(r.byKey, old.key)
+		}
+	}
+}
+
+// get returns the job by id.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// lookupKey returns the most recent job that built the given canonical
+// key, if it is still within the bounded history.
+func (r *jobRegistry) lookupKey(key string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byKey[key]
+	return j, ok
+}
+
+// all returns every tracked job, newest first.
+func (r *jobRegistry) all() []*job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*job, 0, len(r.byID))
+	for _, j := range r.byID {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq > out[b].seq })
+	return out
+}
+
+// summary snapshots the mutable state under the registry lock.
+func (r *jobRegistry) summary(j *job) JobSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.summaryLocked(j)
+}
+
+func (r *jobRegistry) summaryLocked(j *job) JobSummary {
+	done, total := j.scope.Progress()
+	return JobSummary{
+		ID:          j.id,
+		State:       j.state,
+		Seed:        j.seed,
+		Chips:       j.chips,
+		Constraints: j.constraints,
+		Schemes:     j.schemes,
+		CreatedAt:   j.created.UTC(),
+		ChipsDone:   done,
+		ChipsTotal:  total,
+	}
+}
+
+// handleJobs serves GET /v1/jobs: every in-flight job plus the bounded
+// finished history, newest first.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	jobs := s.jobsReg.all()
+	out := JobsResponse{Jobs: make([]JobSummary, 0, len(jobs)), HistoryCap: s.jobsReg.maxDone}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, s.jobsReg.summary(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJob serves GET /v1/jobs/{id}: live state, queue wait, progress,
+// an EWMA-based completion estimate, and cache-hit provenance.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	j, ok := s.jobsReg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id (finished jobs are retained up to the -job-history bound)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobDetail(j))
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the job's phase spans
+// in the Chrome trace_event JSON format, readable at chrome://tracing
+// or ui.perfetto.dev. For a running job the trace is a live snapshot
+// with open spans closed at "now".
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	j, ok := s.jobsReg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id (finished jobs are retained up to the -job-history bound)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.scope.Tracer.WriteChromeTrace(w)
+}
+
+// jobDetail assembles the GET /v1/jobs/{id} body. The ETA blends the
+// server's smoothed build estimate (the same EWMA behind Retry-After)
+// with the job's own progress fraction; when no build has ever
+// completed, it extrapolates from the job's chips/sec so far.
+func (s *Server) jobDetail(j *job) JobDetail {
+	s.jobsReg.mu.Lock()
+	sum := s.jobsReg.summaryLocked(j)
+	started, finished := j.started, j.finished
+	errMsg := j.errMsg
+	s.jobsReg.mu.Unlock()
+
+	d := JobDetail{
+		JobSummary: sum,
+		CacheHits:  j.cacheHits.Load(),
+		Coalesced:  j.coalesced.Load(),
+		Error:      errMsg,
+		TraceURL:   "/v1/jobs/" + sum.ID + "/trace",
+	}
+	now := time.Now()
+	switch sum.State {
+	case jobQueued:
+		d.QueueWaitMS = now.Sub(sum.CreatedAt).Seconds() * 1e3
+	default:
+		d.QueueWaitMS = started.Sub(sum.CreatedAt).Seconds() * 1e3
+	}
+	switch sum.State {
+	case jobRunning:
+		d.ElapsedMS = now.Sub(started).Seconds() * 1e3
+	case jobDone, jobFailed:
+		if !started.IsZero() {
+			d.ElapsedMS = finished.Sub(started).Seconds() * 1e3
+		}
+	}
+
+	est := math.Float64frombits(s.buildEWMA.Load())
+	switch sum.State {
+	case jobQueued:
+		if est > 0 {
+			d.EtaMS = est * 1e3
+		}
+	case jobRunning:
+		remaining := 1.0
+		if sum.ChipsTotal > 0 {
+			remaining = 1 - float64(sum.ChipsDone)/float64(sum.ChipsTotal)
+		}
+		switch {
+		case est > 0:
+			d.EtaMS = est * remaining * 1e3
+		case sum.ChipsDone > 0 && sum.ChipsTotal > 0:
+			// First-ever build: extrapolate from this job's own rate.
+			perChip := d.ElapsedMS / float64(sum.ChipsDone)
+			d.EtaMS = perChip * float64(sum.ChipsTotal-sum.ChipsDone)
+		}
+	}
+	return d
+}
+
+// phaseLabelSet caps the distinct phase label values fed into the
+// server_build_phase_seconds histogram family, so a pathological span
+// namer cannot blow up the /metrics cardinality: the first capLimit
+// distinct names keep their own series, the rest fold into "other".
+type phaseLabelSet struct {
+	mu       sync.Mutex
+	seen     map[string]bool
+	capLimit int
+}
+
+func newPhaseLabelSet(capLimit int) *phaseLabelSet {
+	return &phaseLabelSet{seen: make(map[string]bool), capLimit: capLimit}
+}
+
+func (ps *phaseLabelSet) label(name string) string {
+	clean := sanitizePhase(name)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.seen[clean] {
+		return clean
+	}
+	if len(ps.seen) >= ps.capLimit {
+		return "other"
+	}
+	ps.seen[clean] = true
+	return clean
+}
+
+// sanitizePhase restricts a span name to characters safe inside a
+// Prometheus label value embedded in a registry key.
+func sanitizePhase(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '/', r == '.', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// observePhases folds a finished job's span durations into the global
+// per-phase build-duration histograms on /metrics. The queue_wait span
+// is skipped — it has its own server_queue_wait_seconds histogram.
+func (s *Server) observePhases(sc *obs.Scope) {
+	if sc == nil || sc.Tracer == nil {
+		return
+	}
+	for _, sp := range sc.Tracer.Spans() {
+		if sp.Open || sp.Name == "queue_wait" {
+			continue
+		}
+		obs.H(`server_build_phase_seconds{phase="`+s.phases.label(sp.Name)+`"}`,
+			obs.ExpBuckets(1e-4, 4, 10)).Observe((sp.End - sp.Start).Seconds())
+	}
+}

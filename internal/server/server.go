@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -47,6 +49,14 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request timeouts (default 2m).
 	MaxTimeout time.Duration
+	// JobHistory caps how many finished jobs stay inspectable via
+	// /v1/jobs after completion, evicted oldest-first (default 64;
+	// negative keeps no history).
+	JobHistory int
+	// Logger receives the server's structured logs; per-job logs carry
+	// a "job" attribute matching the /v1/jobs id. Nil discards logs
+	// (tests); yieldd passes a text or JSON slog handler.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -70,6 +80,14 @@ func (c *Config) fill() {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.JobHistory < 0 {
+		c.JobHistory = 0
+	} else if c.JobHistory == 0 {
+		c.JobHistory = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // studyBuilder builds a study; tests swap it for a controllable fake.
@@ -79,6 +97,7 @@ type studyBuilder func(ctx context.Context, cfg yieldcache.StudyConfig) (*yieldc
 // wait on done instead of building again.
 type call struct {
 	done chan struct{}
+	job  *job           // the build's job-registry entry; immutable
 	res  *StudyResponse // immutable once done is closed
 	err  error
 }
@@ -87,6 +106,7 @@ type call struct {
 type Server struct {
 	cfg   Config
 	build studyBuilder
+	log   *slog.Logger
 
 	baseCtx context.Context // parent of every build; cancelled on forced stop
 	cancel  context.CancelFunc
@@ -100,10 +120,17 @@ type Server struct {
 	order    []string // cache keys, oldest first
 	draining bool
 
+	jobsReg *jobRegistry   // per-job telemetry behind /v1/jobs
+	phases  *phaseLabelSet // cardinality cap for build-phase histograms
+
 	wg sync.WaitGroup // tracks builds for Drain
 
 	buildEWMA atomic.Uint64 // float64 bits: smoothed build seconds, for Retry-After
 }
+
+// maxPhaseLabels bounds the distinct phase label values of the
+// server_build_phase_seconds histogram family.
+const maxPhaseLabels = 24
 
 // New returns a Server over the real yieldcache facade.
 func New(cfg Config) *Server {
@@ -114,20 +141,27 @@ func New(cfg Config) *Server {
 		build: func(ctx context.Context, sc yieldcache.StudyConfig) (*yieldcache.Study, error) {
 			return yieldcache.NewStudyCtx(ctx, sc)
 		},
+		log:      cfg.Logger,
 		baseCtx:  ctx,
 		cancel:   cancel,
 		slots:    make(chan struct{}, cfg.Workers),
 		inflight: make(map[string]*call),
 		cache:    make(map[string]*StudyResponse),
+		jobsReg:  newJobRegistry(cfg.JobHistory),
+		phases:   newPhaseLabelSet(maxPhaseLabels),
 	}
 }
 
-// Handler returns the instrumented route table:
-// POST /v1/study, GET /v1/constraints, GET /healthz, GET /metrics.
+// Handler returns the instrumented route table: POST /v1/study,
+// GET /v1/constraints, GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/trace, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/study", obs.Instrument("study", http.HandlerFunc(s.handleStudy)))
 	mux.Handle("/v1/constraints", obs.Instrument("constraints", http.HandlerFunc(s.handleConstraints)))
+	mux.Handle("/v1/jobs", obs.Instrument("jobs", http.HandlerFunc(s.handleJobs)))
+	mux.Handle("/v1/jobs/{id}", obs.Instrument("job", http.HandlerFunc(s.handleJob)))
+	mux.Handle("/v1/jobs/{id}/trace", obs.Instrument("job_trace", http.HandlerFunc(s.handleJobTrace)))
 	mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/metrics", obs.Instrument("metrics", obs.MetricsHandler()))
 	return mux
@@ -287,12 +321,19 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	if res, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		obs.C("server_study_cache_hits_total").Inc()
-		writeResult(w, res, p, true)
+		jobID := ""
+		if j, ok := s.jobsReg.lookupKey(key); ok {
+			j.cacheHits.Add(1)
+			jobID = j.id
+		}
+		s.log.Debug("study served from cache", "job", jobID, "key", key)
+		writeResult(w, res, p, true, jobID)
 		return
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		obs.C("server_study_coalesced_total").Inc()
+		c.job.coalesced.Add(1)
 		s.await(w, r, c, p)
 		return
 	}
@@ -304,17 +345,21 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	if s.jobs >= s.cfg.Workers+s.cfg.QueueDepth {
 		s.mu.Unlock()
 		obs.C("server_study_shed_total").Inc()
+		s.log.Warn("study shed: build queue full", "key", key, "admitted", s.cfg.Workers+s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "build queue is full")
 		return
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{done: make(chan struct{}), job: s.jobsReg.create(p, key, s.log)}
 	s.inflight[key] = c
 	s.jobs++
 	obs.G("server_jobs_admitted").Set(float64(s.jobs))
 	s.wg.Add(1)
 	s.mu.Unlock()
 	obs.C("server_study_cache_misses_total").Inc()
+	c.job.scope.Log().Info("job admitted",
+		"seed", p.seed, "chips", p.chips, "constraints", p.cons.Name,
+		"schemes", strings.Join(p.schemes, "+"), "timeout", p.timeout)
 
 	go s.run(key, p, c)
 	s.await(w, r, c, p)
@@ -323,21 +368,43 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 // run executes one admitted build: queue for a worker slot, build the
 // study under the request timeout, publish the result to the cache and
 // wake every waiter. It runs detached from the initiating request so a
-// client disconnect does not waste the work for coalesced waiters.
+// client disconnect does not waste the work for coalesced waiters. The
+// build context carries the job's telemetry scope, so every phase span
+// and the per-chip progress counter are attributable to this job alone.
 func (s *Server) run(key string, p params, c *call) {
 	defer s.wg.Done()
+	j := c.job
 	ctx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
 	defer cancel()
+	ctx = obs.WithScope(ctx, j.scope)
 
-	queued := time.Now()
+	qsp := j.scope.StartSpan("queue_wait")
 	select {
 	case s.slots <- struct{}{}:
+		qsp.End()
+		wait := s.jobsReg.markRunning(j)
 		obs.H("server_queue_wait_seconds", obs.ExpBuckets(1e-4, 4, 10)).
-			Observe(time.Since(queued).Seconds())
+			Observe(wait.Seconds())
+		j.scope.Log().Info("build started", "queue_wait_ms", wait.Seconds()*1e3)
 		c.res, c.err = s.compute(ctx, p)
 		<-s.slots
 	case <-ctx.Done():
+		qsp.End()
 		c.err = fmt.Errorf("waiting for a worker: %w", ctx.Err())
+	}
+
+	s.observePhases(j.scope)
+	errMsg := ""
+	if c.err != nil {
+		errMsg = c.err.Error()
+	}
+	s.jobsReg.finish(j, errMsg)
+	if c.err != nil {
+		j.scope.Log().Error("job failed", "error", errMsg)
+	} else {
+		done, total := j.scope.Progress()
+		j.scope.Log().Info("job done",
+			"chips_done", done, "chips_total", total, "elapsed_ms", c.res.ElapsedMS)
 	}
 
 	s.mu.Lock()
@@ -374,6 +441,8 @@ func (s *Server) compute(ctx context.Context, p params) (*StudyResponse, error) 
 	obs.H("server_build_seconds", obs.ExpBuckets(1e-3, 4, 10)).Observe(elapsed)
 	s.observeBuild(elapsed)
 
+	asp := obs.StartSpanCtx(ctx, "assemble_response")
+	defer asp.End()
 	extra := []yieldcache.Constraints{yieldcache.Relaxed(), yieldcache.Strict()}
 	res := &StudyResponse{
 		Seed:  p.seed,
@@ -499,7 +568,7 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, c *call, p params
 			}
 			return
 		}
-		writeResult(w, c.res, p, false)
+		writeResult(w, c.res, p, false, c.job.id)
 	case <-r.Context().Done():
 		// Client gone (or server closing the connection); the build
 		// keeps running for coalesced waiters and the cache.
@@ -565,8 +634,14 @@ func (s *Server) retryAfterSeconds() int {
 
 // writeResult sends a shared response with per-request presentation:
 // the Cached flag and the include_* filters apply to a shallow copy, so
-// the cached entry itself stays immutable.
-func writeResult(w http.ResponseWriter, res *StudyResponse, p params, cached bool) {
+// the cached entry itself stays immutable. jobID, when known, is echoed
+// in the X-Job-Id header so clients can follow the build's live state
+// and trace at /v1/jobs/{id}; cache hits carry the producing job's id
+// as long as it is still within the bounded job history.
+func writeResult(w http.ResponseWriter, res *StudyResponse, p params, cached bool, jobID string) {
+	if jobID != "" {
+		w.Header().Set("X-Job-Id", jobID)
+	}
 	out := *res
 	out.Cached = cached
 	if !p.scatter {

@@ -1,5 +1,7 @@
 package server
 
+import "time"
+
 // StudyRequest is the body of POST /v1/study. Zero fields take the
 // paper's defaults (seed 2006, 2000 chips, nominal constraints, all
 // three schemes). docs/API.md is the authoritative field reference.
@@ -119,6 +121,64 @@ type SavedConfig struct {
 	N6             int  `json:"ways_6cyc"`
 	LeakageLimited bool `json:"leakage_limited"`
 	Chips          int  `json:"chips"`
+}
+
+// JobSummary is one row of GET /v1/jobs: an admitted build's identity,
+// lifecycle state and live chip progress.
+type JobSummary struct {
+	// ID is the job's identifier, also echoed in the X-Job-Id response
+	// header of the study that started it and used as the "job" log
+	// attribute.
+	ID string `json:"id"`
+	// State is queued, running, done or failed.
+	State string `json:"state"`
+	// Seed, Chips, Constraints and Schemes echo the resolved study
+	// parameters.
+	Seed        int64    `json:"seed"`
+	Chips       int      `json:"chips"`
+	Constraints string   `json:"constraints"`
+	Schemes     []string `json:"schemes"`
+	// CreatedAt is the admission time (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// ChipsDone/ChipsTotal is the live Monte Carlo progress: chips
+	// measured so far out of the population size. ChipsDone never
+	// decreases and reaches ChipsTotal when the build completes.
+	ChipsDone  int64 `json:"chips_done"`
+	ChipsTotal int64 `json:"chips_total"`
+}
+
+// JobsResponse is the body of GET /v1/jobs.
+type JobsResponse struct {
+	// Jobs lists every in-flight job plus the bounded finished history,
+	// newest first.
+	Jobs []JobSummary `json:"jobs"`
+	// HistoryCap is the server's -job-history bound on finished jobs.
+	HistoryCap int `json:"history_cap"`
+}
+
+// JobDetail is the body of GET /v1/jobs/{id}.
+type JobDetail struct {
+	JobSummary
+	// QueueWaitMS is the time between admission and a worker slot (for
+	// a queued job, the wait so far).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// ElapsedMS is the build's run time: so far when running, final
+	// when done or failed.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// EtaMS estimates the remaining build time from the server's
+	// smoothed (EWMA) build duration scaled by the unfinished chip
+	// fraction; omitted once the job has finished or when no estimate
+	// exists yet.
+	EtaMS float64 `json:"eta_ms,omitempty"`
+	// CacheHits counts later requests answered from this job's cached
+	// result; Coalesced counts concurrent identical requests that
+	// shared this build.
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	// Error is the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+	// TraceURL is the job's Chrome trace_event endpoint.
+	TraceURL string `json:"trace_url"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -126,7 +126,7 @@ var flagCall = map[string]int{
 }
 
 // obsFlags are registered by obs.AddFlags and shared by the batch CLIs.
-var obsFlags = []string{"metrics-out", "trace-out", "manifest-out", "pprof"}
+var obsFlags = []string{"metrics-out", "trace-out", "manifest-out", "pprof", "log-format"}
 
 // commandFlags parses one command's main.go and returns the set of flag
 // names it defines.

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for yieldd, run by CI after the unit suite:
+# boot the server, wait for /healthz, run one tiny study, then verify
+# the observability surface — the X-Job-Id correlation header, the
+# finished job's state at /v1/jobs/{id}, a non-empty Chrome trace at
+# /v1/jobs/{id}/trace, and the per-phase build histograms on /metrics.
+#
+# Usage: scripts/smoke_yieldd.sh [port]   (default 18080)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    status=$?
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null
+    if [ $status -ne 0 ] && [ -f "$TMP/yieldd.log" ]; then
+        echo "--- yieldd log ---" >&2
+        cat "$TMP/yieldd.log" >&2
+    fi
+    rm -rf "$TMP"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke_yieldd: $*" >&2
+    exit 1
+}
+
+echo "== build =="
+go build -o "$TMP/yieldd" ./cmd/yieldd
+
+echo "== boot =="
+"$TMP/yieldd" -addr "127.0.0.1:$PORT" -log-format json >"$TMP/yieldd.log" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && fail "server did not become healthy within 10s"
+    kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.2
+done
+curl -sf "$BASE/healthz" | grep -q '"status": "ok"' || fail "/healthz not ok"
+
+echo "== study =="
+curl -sf -D "$TMP/headers" -o "$TMP/study.json" \
+    -X POST "$BASE/v1/study" \
+    -H 'Content-Type: application/json' \
+    -d '{"chips": 40, "seed": 2006}' || fail "POST /v1/study failed"
+grep -q '"cached": false' "$TMP/study.json" || fail "fresh study reported cached"
+
+JOB="$(tr -d '\r' <"$TMP/headers" | awk 'tolower($1) == "x-job-id:" {print $2}')"
+[ -n "$JOB" ] && echo "job: $JOB" || fail "study response carried no X-Job-Id header"
+
+echo "== job introspection =="
+curl -sf "$BASE/v1/jobs/$JOB" >"$TMP/job.json" || fail "GET /v1/jobs/$JOB failed"
+grep -q '"state": "done"' "$TMP/job.json" || fail "job not done: $(cat "$TMP/job.json")"
+grep -q '"chips_done": 40' "$TMP/job.json" || fail "job chips_done != 40: $(cat "$TMP/job.json")"
+curl -sf "$BASE/v1/jobs" | grep -q "\"$JOB\"" || fail "job missing from /v1/jobs listing"
+
+echo "== job trace =="
+curl -sf "$BASE/v1/jobs/$JOB/trace" >"$TMP/trace.json" || fail "GET trace failed"
+grep -q '"name":"build_population/pair"' "$TMP/trace.json" ||
+    fail "trace has no build_population/pair span: $(cat "$TMP/trace.json")"
+grep -q '"name":"queue_wait"' "$TMP/trace.json" || fail "trace has no queue_wait span"
+
+echo "== metrics =="
+curl -sf "$BASE/metrics" >"$TMP/metrics.prom" || fail "GET /metrics failed"
+grep -q 'server_build_phase_seconds_count{phase="build_population/pair"}' "$TMP/metrics.prom" ||
+    fail "/metrics missing per-phase build histogram"
+grep -q 'server_queue_wait_seconds_count' "$TMP/metrics.prom" ||
+    fail "/metrics missing queue-wait histogram"
+
+echo "== structured logs =="
+grep -q "\"job\":\"$JOB\"" "$TMP/yieldd.log" || fail "no JSON log line carries the job id"
+
+echo "smoke_yieldd: all green"

@@ -87,8 +87,11 @@ func NewStudy(cfg StudyConfig) *Study {
 // NewStudyCtx is NewStudy with cancellation: the Monte Carlo population
 // build aborts early and returns ctx.Err() when ctx is cancelled or its
 // deadline passes. Servers use it to bound a study by a request timeout.
+// When ctx carries an obs.Scope (yieldd's per-job telemetry), the
+// study's phase spans and progress counters land on that scope instead
+// of the process-global tracer.
 func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
-	sp := obs.StartSpan("new_study")
+	sp := obs.StartSpanCtx(ctx, "new_study")
 	defer sp.End()
 	if cfg.Seed == 0 {
 		cfg.Seed = 2006
@@ -101,7 +104,7 @@ func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	lsp := obs.StartSpan("derive_limits")
+	lsp := obs.StartSpanCtx(ctx, "derive_limits")
 	lim := core.DeriveLimits(reg, cons)
 	lsp.End()
 	return &Study{
