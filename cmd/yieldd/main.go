@@ -6,18 +6,24 @@
 // when the bounded build queue fills, requests are shed with 429 and a
 // Retry-After estimate. Every admitted build gets its own telemetry
 // scope: live state, progress and ETA at /v1/jobs/{id}, a per-job
-// Chrome trace at /v1/jobs/{id}/trace, and structured logs correlated
-// by job id. Metrics are always on, served at /metrics in Prometheus
-// text form. docs/API.md is the endpoint reference.
+// Chrome trace at /v1/jobs/{id}/trace, live telemetry streamed as
+// Server-Sent Events at /v1/jobs/{id}/events and /v1/events, and
+// structured logs correlated by job id. A background flight recorder
+// samples the runtime (goroutines, heap, GC, worker occupancy) into a
+// ring served at /v1/runtime/history. Metrics are always on, served at
+// /metrics in Prometheus text form. docs/API.md is the endpoint
+// reference.
 //
 // Usage:
 //
 //	yieldd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-chips N]
 //	       [-timeout D] [-max-timeout D] [-drain D] [-job-history N]
-//	       [-log-format text|json]
+//	       [-stream-interval D] [-event-buffer N] [-flight-interval D]
+//	       [-flight-samples N] [-log-format text|json]
 //
-// On SIGINT/SIGTERM the server stops admitting builds, drains in-flight
-// jobs for up to the -drain budget, then exits.
+// On SIGINT/SIGTERM the server stops admitting builds, ends live event
+// streams, drains in-flight jobs for up to the -drain budget, then
+// exits.
 package main
 
 import (
@@ -46,6 +52,10 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request timeouts")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight builds")
 	jobHistory := flag.Int("job-history", 64, "finished jobs kept inspectable via /v1/jobs (evicted oldest-first)")
+	streamInterval := flag.Duration("stream-interval", 250*time.Millisecond, "minimum interval between job_progress events per SSE stream")
+	eventBuffer := flag.Int("event-buffer", 64, "per-SSE-connection event buffer; clients lagging a full buffer are disconnected")
+	flightInterval := flag.Duration("flight-interval", time.Second, "runtime flight-recorder sampling period (negative disables)")
+	flightSamples := flag.Int("flight-samples", 512, "flight-recorder ring capacity served at /v1/runtime/history")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	flag.Parse()
 
@@ -75,6 +85,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		JobHistory:     *jobHistory,
+		StreamInterval: *streamInterval,
+		EventBuffer:    *eventBuffer,
+		FlightInterval: *flightInterval,
+		FlightSamples:  *flightSamples,
 		Logger:         logger,
 	})
 	httpSrv := &http.Server{

@@ -140,16 +140,10 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
 	geom := regModel.Geom
 
-	regChips := newChipArena(cfg.N, geom)
-	var horChips []Chip
-	var horModel *sram.Model
-	if pair {
-		horModel = sram.NewModel(*cfg.Tech, true)
-		horChips = newChipArena(cfg.N, geom)
-	}
-
 	// Cancellation: the workers poll one shared atomic per chip instead
-	// of selecting on ctx.Done() in the hot loop.
+	// of selecting on ctx.Done() in the hot loop. Started before the
+	// arenas so that their setup loops (millions of slice-header writes
+	// for large N) can poll it too.
 	var cancelled atomic.Bool
 	if done := ctx.Done(); done != nil {
 		stop := make(chan struct{})
@@ -161,6 +155,18 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 			case <-stop:
 			}
 		}()
+	}
+
+	regChips := newChipArena(cfg.N, geom, &cancelled)
+	var horChips []Chip
+	var horModel *sram.Model
+	if pair {
+		horModel = sram.NewModel(*cfg.Tech, true)
+		horChips = newChipArena(cfg.N, geom, &cancelled)
+	}
+	if cancelled.Load() {
+		obs.C("core_population_builds_cancelled_total").Inc()
+		return nil, nil, ctx.Err()
 	}
 
 	workers := cfg.Workers
@@ -218,13 +224,18 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 // newChipArena allocates a chip slice whose per-chip measurement slices
 // all come from three flat backing arrays, pre-sized by sram.Prepare.
 // Full-capacity slice expressions keep a chip's append (which never
-// happens in practice) from bleeding into its neighbour.
-func newChipArena(n int, g Geometry) []Chip {
+// happens in practice) from bleeding into its neighbour. The setup loop
+// polls cancelled periodically and returns the partially wired arena —
+// the caller checks cancellation itself before using it.
+func newChipArena(n int, g Geometry, cancelled *atomic.Bool) []Chip {
 	chips := make([]Chip, n)
 	ways := make([]sram.WayMeasurement, n*g.Ways)
 	banks := make([]sram.BankMeasurement, n*g.Ways*g.BanksPerWay)
 	paths := make([]sram.PathMeasurement, n*g.Ways*g.BanksPerWay*g.PathsPerBank)
 	for i := range chips {
+		if i&4095 == 0 && cancelled.Load() {
+			return chips
+		}
 		chips[i].ID = i
 		chips[i].Meas.Ways = ways[i*g.Ways : (i+1)*g.Ways : (i+1)*g.Ways]
 		for w := range chips[i].Meas.Ways {

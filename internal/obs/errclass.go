@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClass is the low-cardinality failure taxonomy shared by yieldd's
+// request counters, job records and terminal telemetry events. Every
+// request outcome maps onto exactly one class, so a metric or event
+// labelled with it can never blow up series cardinality the way raw
+// error strings would.
+type ErrClass string
+
+// The taxonomy. ClassOK marks success; the rest classify failures by
+// what a client should do about them: fix the request (validation),
+// retry later (shed), retry with a larger budget (timeout), nothing —
+// the server is going away (canceled) — or report a bug (internal).
+const (
+	ClassOK         ErrClass = "ok"
+	ClassValidation ErrClass = "validation"
+	ClassTimeout    ErrClass = "timeout"
+	ClassCanceled   ErrClass = "canceled"
+	ClassShed       ErrClass = "shed"
+	ClassInternal   ErrClass = "internal"
+)
+
+// String returns the class label.
+func (c ErrClass) String() string { return string(c) }
+
+// ClassifyError maps an error to its class: nil is ClassOK, context
+// deadline and cancellation errors (however deeply wrapped) map to
+// ClassTimeout and ClassCanceled, and everything else is ClassInternal.
+// Validation and shed outcomes never reach this function — they are
+// rejected before an error value exists and are classified at the
+// rejection site.
+func ClassifyError(err error) ErrClass {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	default:
+		return ClassInternal
+	}
+}

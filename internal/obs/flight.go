@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one flight-recorder observation: a point-in-time
+// capture of the Go runtime plus any caller-supplied gauges.
+type RuntimeSample struct {
+	TimeMS         int64   `json:"time_ms"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	// Extra carries the caller-supplied gauges captured with this
+	// sample — for yieldd: worker-pool occupancy, queue depth, the EWMA
+	// build estimate and the event-subscriber count.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// FlightRecorder is a runtime flight recorder: a background sampler
+// that captures goroutine, heap and GC statistics — plus caller gauges
+// — into a fixed-size ring buffer, so the recent history of the process
+// survives to be read after (or during) an incident. yieldd serves the
+// ring at GET /v1/runtime/history and mirrors the newest sample onto
+// the default metrics registry, which summarises it on /metrics.
+// All methods are nil-safe.
+type FlightRecorder struct {
+	interval time.Duration
+	extra    func() map[string]float64
+
+	mu    sync.Mutex
+	ring  []RuntimeSample
+	next  int  // ring index of the next write
+	wrap  bool // ring has wrapped at least once
+	stop  chan struct{}
+	donec chan struct{}
+}
+
+// NewFlightRecorder returns a recorder sampling every interval into a
+// ring of capacity samples. extra, when non-nil, is invoked at each
+// sample to capture caller gauges; its keys are mirrored verbatim as
+// gauges on the default metrics registry, so callers should pass fully
+// qualified metric names. The recorder is inert until Start.
+func NewFlightRecorder(interval time.Duration, capacity int, extra func() map[string]float64) *FlightRecorder {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{
+		interval: interval,
+		extra:    extra,
+		ring:     make([]RuntimeSample, capacity),
+	}
+}
+
+// Interval returns the sampling period.
+func (f *FlightRecorder) Interval() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.interval
+}
+
+// Capacity returns the ring-buffer size in samples.
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// Start takes one sample immediately (so History is never empty on a
+// live recorder) and begins background sampling. Starting an already
+// started recorder is a no-op.
+func (f *FlightRecorder) Start() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.stop != nil {
+		f.mu.Unlock()
+		return
+	}
+	f.stop = make(chan struct{})
+	f.donec = make(chan struct{})
+	stop, done := f.stop, f.donec
+	f.mu.Unlock()
+
+	f.SampleNow()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				f.SampleNow()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends background sampling and waits for the sampler goroutine to
+// exit. The recorded history stays readable. Safe to call on a
+// recorder that was never started.
+func (f *FlightRecorder) Stop() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	stop, done := f.stop, f.donec
+	f.stop, f.donec = nil, nil
+	f.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SampleNow captures one sample into the ring and mirrors it onto the
+// default metrics registry (runtime_* gauges plus the extra keys).
+// The background loop calls it on every tick; tests and callers that
+// want an up-to-the-moment reading may call it directly.
+func (f *FlightRecorder) SampleNow() {
+	if f == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSample{
+		TimeMS:         time.Now().UnixMilli(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+		GCPauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
+	}
+	if f.extra != nil {
+		s.Extra = f.extra()
+	}
+
+	G("runtime_goroutines").Set(float64(s.Goroutines))
+	G("runtime_heap_alloc_bytes").Set(float64(s.HeapAllocBytes))
+	G("runtime_heap_sys_bytes").Set(float64(s.HeapSysBytes))
+	G("runtime_heap_objects").Set(float64(s.HeapObjects))
+	G("runtime_gc_cycles_total").Set(float64(s.GCCycles))
+	G("runtime_gc_pause_total_ms").Set(s.GCPauseTotalMS)
+	for name, v := range s.Extra {
+		G(name).Set(v)
+	}
+
+	f.mu.Lock()
+	f.ring[f.next] = s
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrap = true
+	}
+	f.mu.Unlock()
+}
+
+// History returns the recorded samples, oldest first. The slice is a
+// copy; the ring keeps recording.
+func (f *FlightRecorder) History() []RuntimeSample {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.wrap {
+		return append([]RuntimeSample(nil), f.ring[:f.next]...)
+	}
+	out := make([]RuntimeSample, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}

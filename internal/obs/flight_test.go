@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	calls := 0
+	f := NewFlightRecorder(time.Hour, 3, func() map[string]float64 {
+		calls++
+		return map[string]float64{"server_queue_depth": float64(calls)}
+	})
+	for i := 0; i < 5; i++ {
+		f.SampleNow()
+	}
+	hist := f.History()
+	if len(hist) != 3 {
+		t.Fatalf("history holds %d samples, want 3 (ring capacity)", len(hist))
+	}
+	// Oldest-first after wrapping: samples 3, 4, 5 survive.
+	for i, s := range hist {
+		if want := float64(3 + i); s.Extra["server_queue_depth"] != want {
+			t.Errorf("sample %d: extra = %v, want server_queue_depth %g", i, s.Extra, want)
+		}
+		if s.Goroutines <= 0 {
+			t.Errorf("sample %d: goroutines = %d, want > 0", i, s.Goroutines)
+		}
+		if s.HeapAllocBytes == 0 || s.TimeMS == 0 {
+			t.Errorf("sample %d: missing runtime stats: %+v", i, s)
+		}
+	}
+	if f.Capacity() != 3 || f.Interval() != time.Hour {
+		t.Errorf("Capacity=%d Interval=%v", f.Capacity(), f.Interval())
+	}
+}
+
+func TestFlightRecorderPartialHistoryOrder(t *testing.T) {
+	f := NewFlightRecorder(time.Hour, 8, nil)
+	f.SampleNow()
+	f.SampleNow()
+	hist := f.History()
+	if len(hist) != 2 {
+		t.Fatalf("history holds %d samples, want 2", len(hist))
+	}
+	if hist[0].TimeMS > hist[1].TimeMS {
+		t.Errorf("history out of order: %d then %d", hist[0].TimeMS, hist[1].TimeMS)
+	}
+}
+
+func TestFlightRecorderMirrorsGauges(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+	f := NewFlightRecorder(time.Hour, 2, func() map[string]float64 {
+		return map[string]float64{"server_workers_busy": 2}
+	})
+	f.SampleNow()
+	if v := reg.Gauge("runtime_goroutines").Value(); v <= 0 {
+		t.Errorf("runtime_goroutines gauge = %g, want > 0", v)
+	}
+	if v := reg.Gauge("runtime_heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("runtime_heap_alloc_bytes gauge = %g, want > 0", v)
+	}
+	if v := reg.Gauge("server_workers_busy").Value(); v != 2 {
+		t.Errorf("extra gauge server_workers_busy = %g, want 2", v)
+	}
+}
+
+func TestFlightRecorderStartStop(t *testing.T) {
+	f := NewFlightRecorder(5*time.Millisecond, 16, nil)
+	f.Start()
+	f.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(f.History()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := len(f.History()); n < 2 {
+		t.Fatalf("background sampler recorded %d samples, want >= 2", n)
+	}
+	f.Stop()
+	n := len(f.History())
+	time.Sleep(15 * time.Millisecond)
+	if got := len(f.History()); got != n {
+		t.Errorf("recorder kept sampling after Stop: %d -> %d", n, got)
+	}
+	f.Stop() // safe when already stopped
+
+	var nilRec *FlightRecorder
+	nilRec.Start()
+	nilRec.Stop()
+	nilRec.SampleNow()
+	if nilRec.History() != nil || nilRec.Capacity() != 0 || nilRec.Interval() != 0 {
+		t.Error("nil recorder misbehaves")
+	}
+}

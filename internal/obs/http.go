@@ -20,16 +20,25 @@ func MetricsHandler() http.Handler {
 }
 
 // statusWriter records the first status code a handler writes so the
-// Instrument middleware can label its request counter with it.
+// Instrument middleware can label its request counter with it. It
+// forwards Flush to the underlying writer (streaming handlers — the
+// SSE endpoints — break behind a wrapper that hides it) and exposes
+// Unwrap so http.ResponseController reaches the connection's flush and
+// deadline support through the wrapper.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
-	if sw.code == 0 {
-		sw.code = code
+	if sw.code != 0 {
+		// The status is already on the wire (explicitly, or implicitly
+		// via a first Write): recording this late code would misreport
+		// what the client saw, and forwarding it would only trigger
+		// net/http's "superfluous WriteHeader" warning.
+		return
 	}
+	sw.code = code
 	sw.ResponseWriter.WriteHeader(code)
 }
 
@@ -39,6 +48,20 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	}
 	return sw.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the underlying writer when it supports flushing,
+// so SSE and other streaming handlers work behind Instrument.
+func (sw *statusWriter) Flush() {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // Instrument wraps h with per-request metrics on the default registry:
 // a counter http_requests_total{handler,code} and a latency histogram

@@ -61,3 +61,76 @@ func TestInstrument(t *testing.T) {
 		t.Errorf("latency observations = %d, want 3", got)
 	}
 }
+
+// Regression: streaming handlers must see their Flush reach the
+// connection through the Instrument wrapper — before this test, the
+// wrapper hid the underlying Flusher and SSE responses sat in the
+// server's buffer until the handler returned.
+func TestInstrumentForwardsFlush(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+
+	flushed := false
+	h := Instrument("stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("data: x\n\n"))
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("ResponseWriter behind Instrument does not implement http.Flusher")
+		}
+		f.Flush()
+		flushed = true
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if !flushed {
+		t.Fatal("handler never reached Flush")
+	}
+	if !rec.Flushed {
+		t.Error("Flush was not forwarded to the underlying writer")
+	}
+	if got := reg.Counter(`http_requests_total{handler="stream",code="200"}`).Value(); got != 1 {
+		t.Errorf("request counted with code != 200 (200-count = %d)", got)
+	}
+}
+
+// Regression: a WriteHeader arriving after the first body write must
+// neither change the recorded status (the client already saw 200) nor
+// be forwarded (net/http would log a superfluous-WriteHeader warning).
+func TestInstrumentLateWriteHeader(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+
+	h := Instrument("late", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("body already out"))
+		w.WriteHeader(http.StatusInternalServerError) // too late: must be ignored
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+
+	if rec.Code != http.StatusOK {
+		t.Errorf("underlying writer saw status %d, want 200", rec.Code)
+	}
+	if got := reg.Counter(`http_requests_total{handler="late",code="200"}`).Value(); got != 1 {
+		t.Errorf("late WriteHeader misreported the request (200-count = %d, want 1)", got)
+	}
+	if got := reg.Counter(`http_requests_total{handler="late",code="500"}`).Value(); got != 0 {
+		t.Errorf("late WriteHeader recorded as 500 (%d observations)", got)
+	}
+}
+
+// Flush before any explicit write commits an implicit 200; the metric
+// must reflect that, and a WriteHeader after the flush is late.
+func TestInstrumentFlushCommitsStatus(t *testing.T) {
+	reg := Enable()
+	defer Disable()
+
+	h := Instrument("flushfirst", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.(http.Flusher).Flush()
+		w.WriteHeader(http.StatusNotFound) // late: ignored
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := reg.Counter(`http_requests_total{handler="flushfirst",code="200"}`).Value(); got != 1 {
+		t.Errorf("flush-first request not recorded as 200 (count = %d)", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"log/slog"
 	"sync/atomic"
+	"time"
 )
 
 // Scope is one job's telemetry: a private metrics registry, a private
@@ -32,6 +33,13 @@ type Scope struct {
 
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
+
+	// Event publishing, wired by AttachEvents. events is read without
+	// synchronisation on the per-chip hot path, so it must be attached
+	// before the scope is handed to the build workers.
+	events        *EventBus
+	progressMinNS int64
+	lastProgress  atomic.Int64 // UnixNano of the last progress event
 }
 
 // discardLogger swallows log records; the fallback for nil scopes and
@@ -88,12 +96,36 @@ func (s *Scope) H(name string, bounds []float64) *Histogram {
 	return s.Registry.Histogram(name, bounds)
 }
 
-// StartSpan opens a span on the scope's tracer (nil scope → no-op span).
+// StartSpan opens a span on the scope's tracer (nil scope → no-op
+// span). When an event bus is attached and has a subscriber, entering
+// the phase also publishes a job_phase event.
 func (s *Scope) StartSpan(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	if s.events.Active() {
+		s.events.Publish(Event{Type: EventJobPhase, Job: s.ID, Phase: name})
+	}
 	return s.Tracer.StartSpan(name)
+}
+
+// AttachEvents connects the scope to a telemetry bus: AddProgress
+// publishes a job_progress snapshot at most once per interval and
+// StartSpan publishes job_phase events — but only while the bus has a
+// subscriber. With no subscriber attached the progress hot path pays
+// one extra atomic load and nothing else (see
+// BenchmarkScopeProgressIdleBus and the zero-alloc pin in
+// scope_test.go). Must be called before the scope is shared with
+// build workers.
+func (s *Scope) AttachEvents(bus *EventBus, interval time.Duration) {
+	if s == nil {
+		return
+	}
+	s.events = bus
+	if interval < 0 {
+		interval = 0
+	}
+	s.progressMinNS = interval.Nanoseconds()
 }
 
 // SetProgressTotal records the number of work units the job will
@@ -106,13 +138,34 @@ func (s *Scope) SetProgressTotal(n int64) {
 }
 
 // AddProgress adds n completed work units. The build workers call it
-// once per chip at the cancellation poll point, so it must stay one
-// atomic add: no locks, no allocation.
+// once per chip at the cancellation poll point, so the path without an
+// event subscriber must stay one atomic add plus one atomic load: no
+// locks, no allocation. With a subscriber attached (via AttachEvents)
+// it additionally publishes a throttled job_progress event.
 func (s *Scope) AddProgress(n int64) {
 	if s == nil {
 		return
 	}
-	s.progressDone.Add(n)
+	done := s.progressDone.Add(n)
+	if s.events == nil || !s.events.Active() {
+		return
+	}
+	s.publishProgress(done)
+}
+
+// publishProgress emits a job_progress event unless one was published
+// within the throttle interval. Racing workers elect one publisher via
+// the CompareAndSwap; the losers return without blocking.
+func (s *Scope) publishProgress(done int64) {
+	now := time.Now().UnixNano()
+	last := s.lastProgress.Load()
+	if now-last < s.progressMinNS || !s.lastProgress.CompareAndSwap(last, now) {
+		return
+	}
+	s.events.Publish(Event{
+		Type: EventJobProgress, Job: s.ID,
+		Done: done, Total: s.progressTotal.Load(),
+	})
 }
 
 // Progress returns the completed and total work-unit counts. done is
@@ -144,10 +197,12 @@ func ScopeFrom(ctx context.Context) *Scope {
 // StartSpanCtx opens a span on the scope carried by ctx, falling back
 // to the default (process-global) tracer when no scope is attached.
 // This is how the core pipeline keeps one instrumentation call site
-// serving both the per-job server path and the global CLI path.
+// serving both the per-job server path and the global CLI path. Going
+// through Scope.StartSpan means phase entries also reach the scope's
+// event bus when one is attached and subscribed.
 func StartSpanCtx(ctx context.Context, name string) *Span {
 	if s := ScopeFrom(ctx); s != nil {
-		return s.Tracer.StartSpan(name)
+		return s.StartSpan(name)
 	}
 	return defaultTracer.Load().StartSpan(name)
 }

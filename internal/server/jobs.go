@@ -42,6 +42,7 @@ type job struct {
 	started  time.Time // worker slot acquired
 	finished time.Time
 	errMsg   string
+	class    obs.ErrClass // terminal error class; "" until finished
 
 	cacheHits atomic.Int64 // later requests served from this job's cached result
 	coalesced atomic.Int64 // concurrent identical requests that waited on this build
@@ -51,6 +52,8 @@ type job struct {
 // finished ones, so /v1/jobs stays inspectable without growing without
 // bound. In-flight jobs are never evicted (the admission queue already
 // bounds them); finished jobs beyond maxDone are dropped oldest-first.
+// Every created job's scope is attached to the server's event bus, so
+// build progress and phase transitions stream to SSE subscribers.
 type jobRegistry struct {
 	mu      sync.Mutex
 	seq     int64
@@ -58,13 +61,18 @@ type jobRegistry struct {
 	byKey   map[string]*job // most recent build per canonical key
 	done    []*job          // finished jobs, oldest first
 	maxDone int
+
+	bus            *obs.EventBus // scopes publish progress/phase events here
+	streamInterval time.Duration // job_progress throttle
 }
 
-func newJobRegistry(maxDone int) *jobRegistry {
+func newJobRegistry(maxDone int, bus *obs.EventBus, streamInterval time.Duration) *jobRegistry {
 	return &jobRegistry{
-		byID:    make(map[string]*job),
-		byKey:   make(map[string]*job),
-		maxDone: maxDone,
+		byID:           make(map[string]*job),
+		byKey:          make(map[string]*job),
+		maxDone:        maxDone,
+		bus:            bus,
+		streamInterval: streamInterval,
 	}
 }
 
@@ -73,6 +81,35 @@ func newJobRegistry(maxDone int) *jobRegistry {
 func (r *jobRegistry) create(p params, key string, base *slog.Logger) *job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	j := r.newJobLocked(p, key, base)
+	j.state = jobQueued
+	r.byID[j.id] = j
+	r.byKey[key] = j
+	return j
+}
+
+// createFailed registers a job that never ran — a shed request — in
+// its terminal state, so /v1/jobs shows refused work alongside the
+// builds. The job goes straight into the bounded finished history and
+// deliberately stays out of byKey: a later cache hit on the same study
+// must attribute to the job that actually built the entry.
+func (r *jobRegistry) createFailed(p params, key string, class obs.ErrClass, msg string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.newJobLocked(p, key, nil)
+	j.state = jobFailed
+	j.finished = j.created
+	j.class = class
+	j.errMsg = msg
+	r.byID[j.id] = j
+	r.done = append(r.done, j)
+	r.evictLocked()
+	return j
+}
+
+// newJobLocked allocates the next job id and its scope; the caller
+// holds r.mu and sets the lifecycle state.
+func (r *jobRegistry) newJobLocked(p params, key string, base *slog.Logger) *job {
 	r.seq++
 	id := fmt.Sprintf("j%06d", r.seq)
 	j := &job{
@@ -85,10 +122,8 @@ func (r *jobRegistry) create(p params, key string, base *slog.Logger) *job {
 		constraints: p.cons.Name,
 		schemes:     p.schemes,
 		created:     time.Now(),
-		state:       jobQueued,
 	}
-	r.byID[id] = j
-	r.byKey[key] = j
+	j.scope.AttachEvents(r.bus, r.streamInterval)
 	return j
 }
 
@@ -101,18 +136,26 @@ func (r *jobRegistry) markRunning(j *job) time.Duration {
 	return j.started.Sub(j.created)
 }
 
-// finish transitions a job to done/failed and folds it into the bounded
-// history, evicting oldest finished jobs beyond the cap.
-func (r *jobRegistry) finish(j *job, errMsg string) {
+// finish transitions a job to done/failed — stamping its error class —
+// and folds it into the bounded history, evicting oldest finished jobs
+// beyond the cap.
+func (r *jobRegistry) finish(j *job, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	j.finished = time.Now()
-	if errMsg != "" {
-		j.state, j.errMsg = jobFailed, errMsg
+	j.class = obs.ClassifyError(err)
+	if err != nil {
+		j.state, j.errMsg = jobFailed, err.Error()
 	} else {
 		j.state = jobDone
 	}
 	r.done = append(r.done, j)
+	r.evictLocked()
+}
+
+// evictLocked drops the oldest finished jobs beyond the history cap;
+// the caller holds r.mu.
+func (r *jobRegistry) evictLocked() {
 	for len(r.done) > r.maxDone {
 		old := r.done[0]
 		r.done = r.done[1:]
@@ -171,6 +214,7 @@ func (r *jobRegistry) summaryLocked(j *job) JobSummary {
 		CreatedAt:   j.created.UTC(),
 		ChipsDone:   done,
 		ChipsTotal:  total,
+		Class:       string(j.class),
 	}
 }
 

@@ -53,6 +53,20 @@ type Config struct {
 	// /v1/jobs after completion, evicted oldest-first (default 64;
 	// negative keeps no history).
 	JobHistory int
+	// StreamInterval throttles job_progress events on the SSE streams:
+	// at most one progress event per job per interval (default 250ms;
+	// negative publishes every chip — tests only).
+	StreamInterval time.Duration
+	// EventBuffer is the per-SSE-connection event buffer. A subscriber
+	// that falls more than a full buffer behind is disconnected rather
+	// than allowed to stall the bus (default 64).
+	EventBuffer int
+	// FlightInterval is the runtime flight recorder's sampling period
+	// (default 1s; negative disables the recorder).
+	FlightInterval time.Duration
+	// FlightSamples is the flight recorder's ring capacity — how many
+	// samples GET /v1/runtime/history can return (default 512).
+	FlightSamples int
 	// Logger receives the server's structured logs; per-job logs carry
 	// a "job" attribute matching the /v1/jobs id. Nil discards logs
 	// (tests); yieldd passes a text or JSON slog handler.
@@ -84,6 +98,20 @@ func (c *Config) fill() {
 		c.JobHistory = 0
 	} else if c.JobHistory == 0 {
 		c.JobHistory = 64
+	}
+	if c.StreamInterval < 0 {
+		c.StreamInterval = 0
+	} else if c.StreamInterval == 0 {
+		c.StreamInterval = 250 * time.Millisecond
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 64
+	}
+	if c.FlightInterval == 0 {
+		c.FlightInterval = time.Second
+	}
+	if c.FlightSamples <= 0 {
+		c.FlightSamples = 512
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -123,6 +151,12 @@ type Server struct {
 	jobsReg *jobRegistry   // per-job telemetry behind /v1/jobs
 	phases  *phaseLabelSet // cardinality cap for build-phase histograms
 
+	bus    *obs.EventBus       // live telemetry fan-out behind the SSE endpoints
+	flight *obs.FlightRecorder // runtime sampler behind /v1/runtime/history; nil when disabled
+
+	streamCtx    context.Context // cancelled on Drain/Close so SSE connections end
+	streamCancel context.CancelFunc
+
 	wg sync.WaitGroup // tracks builds for Drain
 
 	buildEWMA atomic.Uint64 // float64 bits: smoothed build seconds, for Retry-After
@@ -136,25 +170,55 @@ const maxPhaseLabels = 24
 func New(cfg Config) *Server {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	streamCtx, streamCancel := context.WithCancel(context.Background())
+	bus := obs.NewEventBus()
+	s := &Server{
 		cfg: cfg,
 		build: func(ctx context.Context, sc yieldcache.StudyConfig) (*yieldcache.Study, error) {
 			return yieldcache.NewStudyCtx(ctx, sc)
 		},
-		log:      cfg.Logger,
-		baseCtx:  ctx,
-		cancel:   cancel,
-		slots:    make(chan struct{}, cfg.Workers),
-		inflight: make(map[string]*call),
-		cache:    make(map[string]*StudyResponse),
-		jobsReg:  newJobRegistry(cfg.JobHistory),
-		phases:   newPhaseLabelSet(maxPhaseLabels),
+		log:          cfg.Logger,
+		baseCtx:      ctx,
+		cancel:       cancel,
+		slots:        make(chan struct{}, cfg.Workers),
+		inflight:     make(map[string]*call),
+		cache:        make(map[string]*StudyResponse),
+		jobsReg:      newJobRegistry(cfg.JobHistory, bus, cfg.StreamInterval),
+		phases:       newPhaseLabelSet(maxPhaseLabels),
+		bus:          bus,
+		streamCtx:    streamCtx,
+		streamCancel: streamCancel,
+	}
+	if cfg.FlightInterval > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightInterval, cfg.FlightSamples, s.flightExtra)
+		s.flight.Start()
+	}
+	return s
+}
+
+// flightExtra feeds server-level gauges into every flight-recorder
+// sample (and, mirrored, onto /metrics): worker occupancy, queue depth,
+// the smoothed build estimate and the live SSE subscriber count.
+func (s *Server) flightExtra() map[string]float64 {
+	busy := len(s.slots)
+	s.mu.Lock()
+	queued := s.jobs - busy
+	s.mu.Unlock()
+	if queued < 0 {
+		queued = 0
+	}
+	return map[string]float64{
+		"server_workers_busy":       float64(busy),
+		"server_queue_depth":        float64(queued),
+		"server_build_ewma_seconds": math.Float64frombits(s.buildEWMA.Load()),
+		"server_event_subscribers":  float64(s.bus.Subscribers()),
 	}
 }
 
 // Handler returns the instrumented route table: POST /v1/study,
 // GET /v1/constraints, GET /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/trace, GET /healthz, GET /metrics.
+// GET /v1/jobs/{id}/trace, GET /v1/jobs/{id}/events, GET /v1/events,
+// GET /v1/runtime/history, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/study", obs.Instrument("study", http.HandlerFunc(s.handleStudy)))
@@ -162,6 +226,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/jobs", obs.Instrument("jobs", http.HandlerFunc(s.handleJobs)))
 	mux.Handle("/v1/jobs/{id}", obs.Instrument("job", http.HandlerFunc(s.handleJob)))
 	mux.Handle("/v1/jobs/{id}/trace", obs.Instrument("job_trace", http.HandlerFunc(s.handleJobTrace)))
+	mux.Handle("/v1/jobs/{id}/events", obs.Instrument("job_events", http.HandlerFunc(s.handleJobEvents)))
+	mux.Handle("/v1/events", obs.Instrument("events", http.HandlerFunc(s.handleEvents)))
+	mux.Handle("/v1/runtime/history", obs.Instrument("runtime_history", http.HandlerFunc(s.handleRuntimeHistory)))
 	mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/metrics", obs.Instrument("metrics", obs.MetricsHandler()))
 	return mux
@@ -170,10 +237,13 @@ func (s *Server) Handler() http.Handler {
 // Drain stops admitting new builds (they get 503) and waits for every
 // in-flight build to finish, or until ctx expires — in which case the
 // remaining builds are cancelled, waited for, and ctx.Err() returned.
+// SSE streams are ended up front — a long-lived /v1/events connection
+// must not hold graceful shutdown hostage.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.streamCancel()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -181,16 +251,23 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.flight.Stop()
 		return nil
 	case <-ctx.Done():
 		s.cancel() // force: the population build polls cancellation per chip
 		<-done
+		s.flight.Stop()
 		return ctx.Err()
 	}
 }
 
-// Close cancels all in-flight builds immediately.
-func (s *Server) Close() { s.cancel() }
+// Close cancels all in-flight builds and SSE streams immediately and
+// stops the flight recorder.
+func (s *Server) Close() {
+	s.streamCancel()
+	s.cancel()
+	s.flight.Stop()
+}
 
 // params is a validated, normalised study request.
 type params struct {
@@ -326,6 +403,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 			j.cacheHits.Add(1)
 			jobID = j.id
 		}
+		s.bus.Publish(obs.Event{Type: obs.EventCacheHit, Job: jobID, Key: key})
 		s.log.Debug("study served from cache", "job", jobID, "key", key)
 		writeResult(w, res, p, true, jobID)
 		return
@@ -343,20 +421,34 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.jobs >= s.cfg.Workers+s.cfg.QueueDepth {
+		admitted := s.jobs
 		s.mu.Unlock()
 		obs.C("server_study_shed_total").Inc()
-		s.log.Warn("study shed: build queue full", "key", key, "admitted", s.cfg.Workers+s.cfg.QueueDepth)
+		j := s.jobsReg.createFailed(p, key, obs.ClassShed, "build queue is full")
+		s.bus.Publish(obs.Event{Type: obs.EventShed, Job: j.id, Key: key,
+			Class: string(obs.ClassShed), Queued: admitted})
+		s.log.Warn("study shed: build queue full", "job", j.id, "key", key,
+			"admitted", s.cfg.Workers+s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("X-Job-Id", j.id)
 		writeError(w, http.StatusTooManyRequests, "build queue is full")
 		return
 	}
 	c := &call{done: make(chan struct{}), job: s.jobsReg.create(p, key, s.log)}
 	s.inflight[key] = c
 	s.jobs++
+	admitted := s.jobs
 	obs.G("server_jobs_admitted").Set(float64(s.jobs))
 	s.wg.Add(1)
 	s.mu.Unlock()
 	obs.C("server_study_cache_misses_total").Inc()
+	s.bus.Publish(obs.Event{Type: obs.EventJobAdmitted, Job: c.job.id, Key: key,
+		Total: int64(p.chips)})
+	if admitted > s.cfg.Workers {
+		// More admitted builds than worker slots: someone is queueing.
+		s.bus.Publish(obs.Event{Type: obs.EventQueuePressure,
+			Queued: admitted - s.cfg.Workers, Running: s.cfg.Workers})
+	}
 	c.job.scope.Log().Info("job admitted",
 		"seed", p.seed, "chips", p.chips, "constraints", p.cons.Name,
 		"schemes", strings.Join(p.schemes, "+"), "timeout", p.timeout)
@@ -385,6 +477,8 @@ func (s *Server) run(key string, p params, c *call) {
 		wait := s.jobsReg.markRunning(j)
 		obs.H("server_queue_wait_seconds", obs.ExpBuckets(1e-4, 4, 10)).
 			Observe(wait.Seconds())
+		s.bus.Publish(obs.Event{Type: obs.EventJobStarted, Job: j.id,
+			QueueWaitMS: wait.Seconds() * 1e3, Total: int64(p.chips)})
 		j.scope.Log().Info("build started", "queue_wait_ms", wait.Seconds()*1e3)
 		c.res, c.err = s.compute(ctx, p)
 		<-s.slots
@@ -394,19 +488,20 @@ func (s *Server) run(key string, p params, c *call) {
 	}
 
 	s.observePhases(j.scope)
-	errMsg := ""
+	s.jobsReg.finish(j, c.err)
+	done, total := j.scope.Progress()
 	if c.err != nil {
-		errMsg = c.err.Error()
-	}
-	s.jobsReg.finish(j, errMsg)
-	if c.err != nil {
-		j.scope.Log().Error("job failed", "error", errMsg)
+		s.bus.Publish(obs.Event{Type: obs.EventJobFailed, Job: j.id,
+			Class: string(j.class), Error: c.err.Error(), Done: done, Total: total})
+		j.scope.Log().Error("job failed", "error", c.err.Error(), "class", j.class)
 	} else {
-		done, total := j.scope.Progress()
+		s.bus.Publish(obs.Event{Type: obs.EventJobCompleted, Job: j.id,
+			Class: string(obs.ClassOK), Done: done, Total: total, ElapsedMS: c.res.ElapsedMS})
 		j.scope.Log().Info("job done",
 			"chips_done", done, "chips_total", total, "elapsed_ms", c.res.ElapsedMS)
 	}
 
+	var evicted []string
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if c.err == nil && s.cfg.CacheEntries > 0 {
@@ -415,6 +510,7 @@ func (s *Server) run(key string, p params, c *call) {
 				oldest := s.order[0]
 				s.order = s.order[1:]
 				delete(s.cache, oldest)
+				evicted = append(evicted, oldest)
 				obs.C("server_study_cache_evictions_total").Inc()
 			}
 			s.cache[key] = c.res
@@ -424,6 +520,9 @@ func (s *Server) run(key string, p params, c *call) {
 	s.jobs--
 	obs.G("server_jobs_admitted").Set(float64(s.jobs))
 	s.mu.Unlock()
+	for _, old := range evicted {
+		s.bus.Publish(obs.Event{Type: obs.EventCacheEvict, Key: old})
+	}
 	close(c.done)
 }
 
@@ -553,18 +652,23 @@ func toTotals(rows []yieldcache.ConstraintTotals) []ConstraintTotals {
 }
 
 // await blocks the request on the build (leader and coalesced waiters
-// alike) or the request's own context, whichever ends first.
+// alike) or the request's own context, whichever ends first. Every
+// outcome — success or failure — carries the job's id in X-Job-Id, so a
+// 504 can still be chased down at /v1/jobs/{id}.
 func (s *Server) await(w http.ResponseWriter, r *http.Request, c *call, p params) {
 	select {
 	case <-c.done:
 		if c.err != nil {
-			if errors.Is(c.err, context.DeadlineExceeded) {
+			w.Header().Set("X-Job-Id", c.job.id)
+			class := obs.ClassifyError(c.err)
+			switch class {
+			case obs.ClassTimeout:
 				obs.C("server_study_timeouts_total").Inc()
-				writeError(w, http.StatusGatewayTimeout, "study timed out: "+c.err.Error())
-			} else if errors.Is(c.err, context.Canceled) {
-				writeError(w, http.StatusServiceUnavailable, "study cancelled: server shutting down")
-			} else {
-				writeError(w, http.StatusInternalServerError, c.err.Error())
+				writeErrorClass(w, http.StatusGatewayTimeout, class, "study timed out: "+c.err.Error())
+			case obs.ClassCanceled:
+				writeErrorClass(w, http.StatusServiceUnavailable, class, "study cancelled: server shutting down")
+			default:
+				writeErrorClass(w, http.StatusInternalServerError, class, c.err.Error())
 			}
 			return
 		}
@@ -573,7 +677,8 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, c *call, p params
 		// Client gone (or server closing the connection); the build
 		// keeps running for coalesced waiters and the cache.
 		obs.C("server_requests_abandoned_total").Inc()
-		writeError(w, http.StatusGatewayTimeout, "request cancelled")
+		w.Header().Set("X-Job-Id", c.job.id)
+		writeErrorClass(w, http.StatusGatewayTimeout, obs.ClassCanceled, "request cancelled")
 	}
 }
 
@@ -642,6 +747,7 @@ func writeResult(w http.ResponseWriter, res *StudyResponse, p params, cached boo
 	if jobID != "" {
 		w.Header().Set("X-Job-Id", jobID)
 	}
+	obs.C(`server_requests_total{class="` + string(obs.ClassOK) + `"}`).Inc()
 	out := *res
 	out.Cached = cached
 	if !p.scatter {
@@ -661,6 +767,33 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError classifies the failure from its HTTP status; paths that
+// know a more precise class call writeErrorClass directly.
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+	writeErrorClass(w, code, classForStatus(code), msg)
+}
+
+// writeErrorClass sends an ErrorResponse stamped with its taxonomy
+// class and counts it on server_requests_total{class=...}.
+func writeErrorClass(w http.ResponseWriter, code int, class obs.ErrClass, msg string) {
+	obs.C(`server_requests_total{class="` + string(class) + `"}`).Inc()
+	writeJSON(w, code, ErrorResponse{Error: msg, Class: string(class)})
+}
+
+// classForStatus maps an HTTP status to the error taxonomy: 429 is
+// shed, 504 timeout, 503 canceled (draining/shutdown), other 4xx
+// validation, the rest internal.
+func classForStatus(code int) obs.ErrClass {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return obs.ClassShed
+	case code == http.StatusGatewayTimeout:
+		return obs.ClassTimeout
+	case code == http.StatusServiceUnavailable:
+		return obs.ClassCanceled
+	case code >= 400 && code < 500:
+		return obs.ClassValidation
+	default:
+		return obs.ClassInternal
+	}
 }

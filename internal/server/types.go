@@ -1,6 +1,10 @@
 package server
 
-import "time"
+import (
+	"time"
+
+	"yieldcache/internal/obs"
+)
 
 // StudyRequest is the body of POST /v1/study. Zero fields take the
 // paper's defaults (seed 2006, 2000 chips, nominal constraints, all
@@ -145,6 +149,10 @@ type JobSummary struct {
 	// decreases and reaches ChipsTotal when the build completes.
 	ChipsDone  int64 `json:"chips_done"`
 	ChipsTotal int64 `json:"chips_total"`
+	// Class is the job's terminal error class (ok, validation, timeout,
+	// canceled, shed, internal); empty while the job is queued or
+	// running.
+	Class string `json:"class,omitempty"`
 }
 
 // JobsResponse is the body of GET /v1/jobs.
@@ -181,7 +189,22 @@ type JobDetail struct {
 	TraceURL string `json:"trace_url"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Class is the
+// low-cardinality error taxonomy label (validation, timeout, canceled,
+// shed, internal) also used on the server_requests_total metric and on
+// terminal job events.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+// RuntimeHistoryResponse is the body of GET /v1/runtime/history: the
+// flight recorder's ring of runtime samples, oldest first.
+type RuntimeHistoryResponse struct {
+	// IntervalMS is the sampling period; Capacity the ring size. Both
+	// are zero when the recorder is disabled (-flight-interval < 0).
+	IntervalMS float64 `json:"interval_ms"`
+	Capacity   int     `json:"capacity"`
+	// Samples holds up to Capacity observations, oldest first.
+	Samples []obs.RuntimeSample `json:"samples"`
 }

@@ -1,16 +1,19 @@
 #!/usr/bin/env sh
 # Performance snapshot: runs the headline benchmarks with -benchmem and
-# writes a machine-readable summary to BENCH_pr3.json (ns/op, B/op,
-# allocs/op, and chips/s where the benchmark reports it).
+# writes a machine-readable summary (ns/op, B/op, allocs/op, and chips/s
+# where the benchmark reports it) to $BENCH_OUT (default BENCH_pr3.json).
 #
-# Usage: scripts/bench.sh [benchtime]
+# Usage: [BENCH_OUT=FILE.json] scripts/bench.sh [benchtime] [micro-benchtime]
 #   benchtime defaults to 3x; pass e.g. 10x or 2s for steadier numbers.
+#   micro-benchtime (default 1s) drives the nanosecond-scale event-bus
+#   benchmarks, which need many iterations for stable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3x}"
-OUT="BENCH_pr3.json"
+MICROTIME="${2:-1s}"
+OUT="${BENCH_OUT:-BENCH_pr3.json}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -18,6 +21,11 @@ echo "== go test -bench (benchtime=$BENCHTIME) =="
 go test -run '^$' \
     -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim)$' \
     -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+echo "== event-bus hot-path benchmarks (benchtime=$MICROTIME) =="
+go test -run '^$' \
+    -bench '^(BenchmarkEventBusIdlePublish|BenchmarkScopeProgressIdleBus|BenchmarkEventBusPublishOneSubscriber)$' \
+    -benchtime "$MICROTIME" -benchmem ./internal/obs/ | tee -a "$RAW"
 
 awk '
 BEGIN { print "{"; first = 1 }

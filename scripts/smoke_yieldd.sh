@@ -3,7 +3,9 @@
 # boot the server, wait for /healthz, run one tiny study, then verify
 # the observability surface — the X-Job-Id correlation header, the
 # finished job's state at /v1/jobs/{id}, a non-empty Chrome trace at
-# /v1/jobs/{id}/trace, and the per-phase build histograms on /metrics.
+# /v1/jobs/{id}/trace, the SSE event streams (progress + terminal
+# event), the runtime flight recorder at /v1/runtime/history, and the
+# per-phase build histograms on /metrics.
 #
 # Usage: scripts/smoke_yieldd.sh [port]   (default 18080)
 set -eu
@@ -70,12 +72,54 @@ grep -q '"name":"build_population/pair"' "$TMP/trace.json" ||
     fail "trace has no build_population/pair span: $(cat "$TMP/trace.json")"
 grep -q '"name":"queue_wait"' "$TMP/trace.json" || fail "trace has no queue_wait span"
 
+echo "== sse job stream =="
+# The job has finished, so the stream replays its state and closes on
+# its own: a progress snapshot and the terminal job_completed event.
+curl -sfN -m 10 "$BASE/v1/jobs/$JOB/events" >"$TMP/stream.txt" || fail "GET job events failed"
+grep -q '^event: job_progress$' "$TMP/stream.txt" ||
+    fail "job stream has no progress event: $(cat "$TMP/stream.txt")"
+grep -q '^event: job_completed$' "$TMP/stream.txt" ||
+    fail "job stream has no terminal event: $(cat "$TMP/stream.txt")"
+grep -q '"done":40' "$TMP/stream.txt" || fail "stream progress lacks done=40"
+grep -q '"class":"ok"' "$TMP/stream.txt" || fail "terminal event lacks class ok"
+
+echo "== sse firehose =="
+# Tail the live firehose while a second (different-seed) study runs;
+# the stream stays open, so background it and grep with retries.
+curl -sN -m 10 "$BASE/v1/events?types=job_admitted,job_progress,job_completed" \
+    >"$TMP/firehose.txt" 2>/dev/null &
+CURL_PID=$!
+sleep 0.3
+curl -sf -X POST "$BASE/v1/study" -H 'Content-Type: application/json' \
+    -d '{"chips": 40, "seed": 7}' >/dev/null || fail "second study failed"
+i=0
+until grep -q '^event: job_completed$' "$TMP/firehose.txt" 2>/dev/null; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && fail "firehose never saw job_completed: $(cat "$TMP/firehose.txt")"
+    sleep 0.2
+done
+kill "$CURL_PID" 2>/dev/null || true
+wait "$CURL_PID" 2>/dev/null || true
+grep -q '^event: job_admitted$' "$TMP/firehose.txt" || fail "firehose missing job_admitted"
+if grep -q '^event: cache_hit$' "$TMP/firehose.txt"; then
+    fail "type filter leaked a cache_hit event"
+fi
+
+echo "== runtime history =="
+curl -sf "$BASE/v1/runtime/history" >"$TMP/runtime.json" || fail "GET runtime history failed"
+grep -q '"goroutines":' "$TMP/runtime.json" || fail "runtime history has no samples"
+grep -q '"server_workers_busy"' "$TMP/runtime.json" || fail "runtime history lacks server gauges"
+
 echo "== metrics =="
 curl -sf "$BASE/metrics" >"$TMP/metrics.prom" || fail "GET /metrics failed"
 grep -q 'server_build_phase_seconds_count{phase="build_population/pair"}' "$TMP/metrics.prom" ||
     fail "/metrics missing per-phase build histogram"
 grep -q 'server_queue_wait_seconds_count' "$TMP/metrics.prom" ||
     fail "/metrics missing queue-wait histogram"
+grep -q 'server_requests_total{class="ok"}' "$TMP/metrics.prom" ||
+    fail "/metrics missing error-taxonomy request counter"
+grep -q '^runtime_goroutines ' "$TMP/metrics.prom" ||
+    fail "/metrics missing flight-recorder runtime gauges"
 
 echo "== structured logs =="
 grep -q "\"job\":\"$JOB\"" "$TMP/yieldd.log" || fail "no JSON log line carries the job id"
