@@ -13,6 +13,7 @@ package yieldcache
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"yieldcache/internal/circuit"
 	"yieldcache/internal/core"
@@ -332,6 +333,28 @@ func BenchmarkPopulationBuildPair(b *testing.B) {
 		core.BuildPopulationPair(core.PopulationConfig{N: n, Seed: int64(i + 1)})
 	}
 	b.ReportMetric(float64(2*n*b.N)/b.Elapsed().Seconds(), "chips/s")
+}
+
+// BenchmarkPopulationBuildPairCheckpointed is the pair builder with the
+// durable-jobs checkpointer armed at a server-realistic interval. The
+// comparison against BenchmarkPopulationBuildPair (Checkpoint nil) pins
+// the acceptance bar: the disabled-store path adds zero allocations to
+// the per-chip hot loop, and enabling checkpointing costs only the
+// checkpointer goroutine plus per-tick sink work, nothing per chip.
+func BenchmarkPopulationBuildPairCheckpointed(b *testing.B) {
+	const n = 200
+	sunk := 0
+	for i := 0; i < b.N; i++ {
+		core.BuildPopulationPair(core.PopulationConfig{
+			N: n, Seed: int64(i + 1),
+			Checkpoint: &core.CheckpointConfig{
+				Interval: 2 * time.Millisecond,
+				Sink:     func(*core.BuildCheckpoint) error { sunk++; return nil },
+			},
+		})
+	}
+	b.ReportMetric(float64(2*n*b.N)/b.Elapsed().Seconds(), "chips/s")
+	b.ReportMetric(float64(sunk)/float64(b.N), "ckpts/op")
 }
 
 // BenchmarkMeasure is the steady-state single-chip kernel: one warm

@@ -14,12 +14,23 @@
 // /metrics in Prometheus text form. docs/API.md is the endpoint
 // reference.
 //
+// With -store file, job records, cached results, Idempotency-Key
+// bindings and build checkpoints are persisted under -data-dir in a
+// CRC-checked write-ahead log plus snapshot files; after a crash the
+// next start replays the log and resumes interrupted builds from their
+// last checkpoint under the same job ids. Graceful shutdown records
+// terminal states, so only an unclean death triggers resume. The
+// YIELDD_CHAOS environment variable (e.g.
+// "err=0.05,lat=2ms,partial=0.01,seed=7") injects storage faults for
+// recovery testing.
+//
 // Usage:
 //
 //	yieldd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-chips N]
 //	       [-timeout D] [-max-timeout D] [-drain D] [-job-history N]
 //	       [-stream-interval D] [-event-buffer N] [-flight-interval D]
 //	       [-flight-samples N] [-log-format text|json]
+//	       [-store none|mem|file] [-data-dir DIR] [-checkpoint-interval D]
 //
 // On SIGINT/SIGTERM the server stops admitting builds, ends live event
 // streams, drains in-flight jobs for up to the -drain budget, then
@@ -40,6 +51,7 @@ import (
 
 	"yieldcache/internal/obs"
 	"yieldcache/internal/server"
+	"yieldcache/internal/store"
 )
 
 func main() {
@@ -57,6 +69,9 @@ func main() {
 	flightInterval := flag.Duration("flight-interval", time.Second, "runtime flight-recorder sampling period (negative disables)")
 	flightSamples := flag.Int("flight-samples", 512, "flight-recorder ring capacity served at /v1/runtime/history")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	storeKind := flag.String("store", "none", "durable job/result store: none, mem (process-lifetime, for testing) or file (WAL under -data-dir)")
+	dataDir := flag.String("data-dir", "yieldd-data", "directory for the file store's write-ahead log and snapshots")
+	checkpointInterval := flag.Duration("checkpoint-interval", 2*time.Second, "interval between build checkpoints when a store is attached (negative disables checkpointing)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -77,6 +92,35 @@ func main() {
 	// batch CLIs' obs.Flags bundle.
 	obs.Enable()
 
+	var st store.Store
+	switch *storeKind {
+	case "none":
+	case "mem":
+		st = store.NewMem()
+	case "file":
+		fs, err := store.OpenFile(*dataDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yieldd: opening store in %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		st = fs
+		logger.Info("file store open", "data_dir", *dataDir)
+	default:
+		fmt.Fprintf(os.Stderr, "yieldd: unknown -store %q (want none, mem or file)\n", *storeKind)
+		os.Exit(2)
+	}
+	if st != nil {
+		chaos, err := store.ChaosFromEnv()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yieldd: YIELDD_CHAOS: %v\n", err)
+			os.Exit(2)
+		}
+		if chaos.Enabled() {
+			logger.Warn("storage fault injection armed", "config", os.Getenv("YIELDD_CHAOS"))
+			st = store.WithChaos(st, chaos)
+		}
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -90,6 +134,9 @@ func main() {
 		FlightInterval: *flightInterval,
 		FlightSamples:  *flightSamples,
 		Logger:         logger,
+
+		Store:              st,
+		CheckpointInterval: *checkpointInterval,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -121,6 +168,11 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown", "error", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			logger.Warn("store close", "error", err)
+		}
 	}
 	logger.Info("yieldd stopped")
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yieldcache/internal/obs"
+	"yieldcache/internal/sram"
+)
+
+// CheckpointConfig turns on periodic build checkpointing and, when
+// Resume is set, continues an interrupted build from its saved prefix.
+//
+// The consistency argument: worker w measures chips base+w, base+w+W,
+// … and, after finishing chip i, publishes i+W as its frontier with an
+// atomic store. The checkpointer takes P = min over worker frontiers;
+// every chip below P was finished before the store that made it
+// visible (atomic store/load order), so Regular[:P]/Horizontal[:P] is
+// an immutable, fully-measured prefix — no locks, no copying, and the
+// hot loop pays one predictable nil-check plus one atomic store per
+// chip only when checkpointing is on (nothing at all when it is off).
+type CheckpointConfig struct {
+	// Interval is the time between checkpoint attempts; zero or
+	// negative disables the checkpointer (Resume still works).
+	Interval time.Duration
+	// Sink receives each checkpoint. The pointed-to chips alias the
+	// live build arena: the prefix is immutable, but the Sink must
+	// finish with it (encode, hash) before returning and must not
+	// retain the slices. A Sink error skips that checkpoint; the build
+	// carries on and tries again next interval.
+	Sink func(*BuildCheckpoint) error
+	// Resume, when set, seeds the build with a previously checkpointed
+	// prefix: chips below Resume.Done are copied into the arena and
+	// measurement starts at Done. The checkpoint's seed, size, mode and
+	// model must match the build's.
+	Resume *BuildCheckpoint
+}
+
+// validateResume checks that a checkpoint belongs to this build.
+func validateResume(r *BuildCheckpoint, cfg *PopulationConfig, pair bool, geom sram.Geometry) error {
+	switch {
+	case r.Seed != cfg.Seed:
+		return fmt.Errorf("core: resume checkpoint seed %d, build seed %d", r.Seed, cfg.Seed)
+	case r.N != cfg.N:
+		return fmt.Errorf("core: resume checkpoint for %d chips, build wants %d", r.N, cfg.N)
+	case r.Pair != pair:
+		return fmt.Errorf("core: resume checkpoint pair=%v, build pair=%v", r.Pair, pair)
+	case r.Geom != geom:
+		return fmt.Errorf("core: resume checkpoint geometry %+v, build geometry %+v", r.Geom, geom)
+	case r.Tech != *cfg.Tech:
+		return fmt.Errorf("core: resume checkpoint built under a different technology model")
+	}
+	return nil
+}
+
+// copyMeasInto copies a checkpointed chip measurement into an arena
+// slot whose nested slices are already wired to the flat backing
+// arrays, preserving the arena's allocation discipline.
+func copyMeasInto(dst, src *sram.CacheMeasurement) {
+	dst.LatencyPS = src.LatencyPS
+	dst.LeakageW = src.LeakageW
+	for w := range dst.Ways {
+		dw, sw := &dst.Ways[w], &src.Ways[w]
+		dw.PeriphLeakW = sw.PeriphLeakW
+		dw.LatencyPS = sw.LatencyPS
+		dw.LeakageW = sw.LeakageW
+		for b := range dw.Banks {
+			db, sb := &dw.Banks[b], &sw.Banks[b]
+			db.MaxPS = sb.MaxPS
+			db.ArrayLeakW = sb.ArrayLeakW
+			copy(db.Paths, sb.Paths)
+		}
+	}
+}
+
+// checkpointer drives the periodic Sink calls for one build.
+type checkpointer struct {
+	cfg      *CheckpointConfig
+	frontier []atomic.Int64
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newCheckpointer starts the ticker goroutine; nil when checkpointing
+// is disabled for this build.
+func newCheckpointer(ck *CheckpointConfig, base, n, workers int, pair bool, cfg *PopulationConfig,
+	geom sram.Geometry, reg, hor []Chip, scope *obs.Scope) *checkpointer {
+	if ck == nil || ck.Sink == nil || ck.Interval <= 0 {
+		return nil
+	}
+	c := &checkpointer{cfg: ck, frontier: make([]atomic.Int64, workers), stop: make(chan struct{})}
+	for w := range c.frontier {
+		c.frontier[w].Store(int64(base + w))
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(ck.Interval)
+		defer t.Stop()
+		last := base
+		for {
+			select {
+			case <-t.C:
+				p := c.min(n)
+				if p <= last {
+					continue
+				}
+				bc := &BuildCheckpoint{
+					Seed: cfg.Seed, N: n, Done: p, Pair: pair,
+					Tech: *cfg.Tech, Geom: geom,
+					Regular: reg[:p],
+				}
+				if pair {
+					bc.Horizontal = hor[:p]
+				}
+				if err := ck.Sink(bc); err != nil {
+					obs.C("core_checkpoint_sink_errors_total").Inc()
+					continue
+				}
+				last = p
+				obs.C("core_checkpoints_total").Inc()
+				scope.G("job_checkpoint_chips").Set(float64(p))
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// min returns the consistent frontier: every chip below it is measured.
+func (c *checkpointer) min(n int) int {
+	p := int64(n)
+	for w := range c.frontier {
+		if f := c.frontier[w].Load(); f < p {
+			p = f
+		}
+	}
+	return int(p)
+}
+
+// advance publishes that worker w has finished chip i.
+func (c *checkpointer) advance(w, i, workers int) {
+	c.frontier[w].Store(int64(i + workers))
+}
+
+// close stops the ticker goroutine and waits for it.
+func (c *checkpointer) close() {
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chipsEqual compares two populations chip by chip on the measurement
+// fields the analysis consumes; used to assert bit-identical resumes.
+func chipsEqual(t *testing.T, label string, a, b *Population) {
+	t.Helper()
+	if len(a.Chips) != len(b.Chips) {
+		t.Fatalf("%s: %d chips vs %d", label, len(a.Chips), len(b.Chips))
+	}
+	for i := range a.Chips {
+		ma, mb := &a.Chips[i].Meas, &b.Chips[i].Meas
+		if ma.LatencyPS != mb.LatencyPS || ma.LeakageW != mb.LeakageW {
+			t.Fatalf("%s: chip %d differs: latency %v vs %v, leakage %v vs %v",
+				label, i, ma.LatencyPS, mb.LatencyPS, ma.LeakageW, mb.LeakageW)
+		}
+		for w := range ma.Ways {
+			wa, wb := &ma.Ways[w], &mb.Ways[w]
+			if wa.LatencyPS != wb.LatencyPS || wa.LeakageW != wb.LeakageW {
+				t.Fatalf("%s: chip %d way %d differs", label, i, w)
+			}
+		}
+	}
+}
+
+// A build resumed from a mid-flight checkpoint must produce populations
+// bit-identical to an uninterrupted run with the same seed — the
+// acceptance bar for crash recovery.
+func TestResumeFromCheckpointBitIdentical(t *testing.T) {
+	const n, seed = 120, 2006
+	wantReg, wantHor := BuildPopulationPair(PopulationConfig{N: n, Seed: seed})
+
+	// Capture checkpoints from an instrumented build.
+	var mu sync.Mutex
+	var last *BuildCheckpoint
+	cfg := PopulationConfig{N: n, Seed: seed, Workers: 4, Checkpoint: &CheckpointConfig{
+		Interval: time.Millisecond,
+		Sink: func(bc *BuildCheckpoint) error {
+			// Deep-copy through the wire format, exactly like the server:
+			// the in-memory checkpoint aliases the build arena.
+			var buf bytes.Buffer
+			if err := bc.Encode(&buf); err != nil {
+				return err
+			}
+			dec, err := DecodeBuildCheckpoint(&buf)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			// Keep the newest strictly-mid-build checkpoint: the final
+			// tick can land after every chip finished, and resuming from
+			// a complete prefix would not exercise the rebuild tail.
+			if dec.Done < n && (last == nil || dec.Done > last.Done) {
+				last = dec
+			}
+			mu.Unlock()
+			return nil
+		},
+	}}
+	reg, hor, err := BuildPopulationPairCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipsEqual(t, "instrumented regular", reg, wantReg)
+	chipsEqual(t, "instrumented horizontal", hor, wantHor)
+
+	mu.Lock()
+	ck := last
+	mu.Unlock()
+	if ck == nil {
+		// Build finished between ticks; force a checkpoint by hand from
+		// the uninterrupted run's prefix so the resume path still runs.
+		ck = &BuildCheckpoint{
+			Seed: seed, N: n, Done: n / 3, Pair: true,
+			Tech: wantReg.Model.Tech, Geom: wantReg.Model.Geom,
+			Regular:    wantReg.Chips[:n/3],
+			Horizontal: wantHor.Chips[:n/3],
+		}
+	}
+	if ck.Done == 0 || ck.Done >= n {
+		t.Fatalf("checkpoint frontier %d of %d is not mid-build", ck.Done, n)
+	}
+
+	// Resume: the prefix comes from the checkpoint, the rest rebuilds.
+	reg2, hor2, err := BuildPopulationPairCtx(context.Background(), PopulationConfig{
+		N: n, Seed: seed, Workers: 2, // different worker count on purpose
+		Checkpoint: &CheckpointConfig{Resume: ck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipsEqual(t, "resumed regular", reg2, wantReg)
+	chipsEqual(t, "resumed horizontal", hor2, wantHor)
+}
+
+// A checkpoint from a different build must be refused, not silently
+// blended into the wrong population.
+func TestResumeValidatesProvenance(t *testing.T) {
+	const n, seed = 40, 7
+	reg, hor := BuildPopulationPair(PopulationConfig{N: n, Seed: seed})
+	good := &BuildCheckpoint{
+		Seed: seed, N: n, Done: 10, Pair: true,
+		Tech: reg.Model.Tech, Geom: reg.Model.Geom,
+		Regular: reg.Chips[:10], Horizontal: hor.Chips[:10],
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(c *BuildCheckpoint)
+		want   string
+	}{
+		{"wrong seed", func(c *BuildCheckpoint) { c.Seed = 999 }, "seed"},
+		{"wrong n", func(c *BuildCheckpoint) { c.N = n + 1 }, "chips"},
+		{"wrong mode", func(c *BuildCheckpoint) { c.Pair = false }, "pair"},
+		{"wrong geometry", func(c *BuildCheckpoint) { c.Geom.Ways = 99 }, "geometry"},
+		{"wrong tech", func(c *BuildCheckpoint) { c.Tech.Vdd = 9.9 }, "technology"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := *good
+			tc.mutate(&bad)
+			_, _, err := BuildPopulationPairCtx(context.Background(), PopulationConfig{
+				N: n, Seed: seed, Checkpoint: &CheckpointConfig{Resume: &bad},
+			})
+			if err == nil {
+				t.Fatal("mismatched checkpoint accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the %s mismatch", err, tc.want)
+			}
+		})
+	}
+}
+
+// The checkpoint wire format round-trips and rejects damage with
+// descriptive errors.
+func TestCheckpointEncodeDecode(t *testing.T) {
+	const n, seed = 30, 3
+	reg, hor := BuildPopulationPair(PopulationConfig{N: n, Seed: seed})
+	ck := &BuildCheckpoint{
+		Seed: seed, N: n, Done: n, Pair: true,
+		Tech: reg.Model.Tech, Geom: reg.Model.Geom,
+		Regular: reg.Chips, Horizontal: hor.Chips,
+	}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBuildCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Done != n || got.Seed != seed || len(got.Regular) != n || len(got.Horizontal) != n {
+		t.Fatalf("round trip mangled the checkpoint: %+v", got)
+	}
+	for i := range got.Regular {
+		if got.Regular[i].Meas.LatencyPS != reg.Chips[i].Meas.LatencyPS {
+			t.Fatalf("chip %d latency changed in round trip", i)
+		}
+	}
+
+	// Inconsistent frontier: Done beyond the stored prefix.
+	bad := *ck
+	bad.Done = n + 5
+	bad.N = n + 10
+	buf.Reset()
+	if err := bad.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBuildCheckpoint(&buf); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("inconsistent checkpoint: err = %v, want named inconsistency", err)
+	}
+
+	// A population file is not a checkpoint.
+	buf.Reset()
+	if err := reg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBuildCheckpoint(&buf); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("population file decoded as checkpoint: err = %v", err)
+	}
+}

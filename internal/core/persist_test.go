@@ -44,3 +44,41 @@ func TestReadPopulationErrors(t *testing.T) {
 		t.Error("empty input accepted")
 	}
 }
+
+// Every way a snapshot can be damaged must fail with an error that
+// names the problem, before gob ever touches the bytes.
+func TestReadPopulationDescriptiveErrors(t *testing.T) {
+	pop := BuildPopulation(PopulationConfig{N: 10, Seed: 5})
+	var buf bytes.Buffer
+	if err := pop.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte, want string) {
+		t.Helper()
+		_, err := ReadPopulation(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+
+	check("truncated header", good[:7], "truncated in header")
+
+	wrongMagic := append([]byte(nil), good...)
+	copy(wrongMagic, "NOPE!")
+	check("wrong magic", wrongMagic, "magic")
+
+	wrongVersion := append([]byte(nil), good...)
+	wrongVersion[5] = 99
+	check("wrong version", wrongVersion, "version 99")
+
+	check("truncated payload", good[:len(good)-10], "truncated")
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x40
+	check("payload bit flip", flipped, "checksum")
+}

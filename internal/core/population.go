@@ -48,6 +48,9 @@ type PopulationConfig struct {
 	Tech    *circuit.Tech
 	Spec    *variation.Spec
 	Fact    *variation.Factors
+	// Checkpoint enables periodic build checkpointing and crash resume;
+	// nil (the default) adds nothing to the hot loop.
+	Checkpoint *CheckpointConfig
 }
 
 func (c *PopulationConfig) fill() {
@@ -169,12 +172,33 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 		return nil, nil, ctx.Err()
 	}
 
+	// Resume: seed the arena with a checkpointed prefix. Chip i is a
+	// pure function of (Seed, i), so measurement restarting at base
+	// yields chips bit-identical to an uninterrupted run.
+	base := 0
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Resume != nil {
+		r := cfg.Checkpoint.Resume
+		if err := validateResume(r, &cfg, pair, geom); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < r.Done; i++ {
+			copyMeasInto(&regChips[i].Meas, &r.Regular[i].Meas)
+			if pair {
+				copyMeasInto(&horChips[i].Meas, &r.Horizontal[i].Meas)
+			}
+		}
+		base = r.Done
+		scope.AddProgress(int64(base))
+		obs.C("core_builds_resumed_total").Inc()
+	}
+
 	workers := cfg.Workers
+	ckp := newCheckpointer(cfg.Checkpoint, base, cfg.N, workers, pair, &cfg, geom, regChips, horChips, scope)
 	workerSec := obs.H("core_population_worker_seconds", obs.ExpBuckets(1e-4, 4, 10))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(start int) {
+		go func(w, start int) {
 			defer wg.Done()
 			ws := sp.Worker("measure_chips", start)
 			t0 := time.Now()
@@ -190,12 +214,16 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 					ev.Measure(&chip, &regChips[i].Meas)
 				}
 				scope.AddProgress(1)
+				if ckp != nil {
+					ckp.advance(w, i, workers)
+				}
 			}
 			workerSec.Observe(time.Since(t0).Seconds())
 			ws.End()
-		}(w)
+		}(w, base+w)
 	}
 	wg.Wait()
+	ckp.close()
 	if err := ctx.Err(); err != nil {
 		obs.C("core_population_builds_cancelled_total").Inc()
 		return nil, nil, err

@@ -28,6 +28,13 @@ const (
 	// them ends every admitted job, carrying the error class.
 	EventJobCompleted EventType = "job_completed"
 	EventJobFailed    EventType = "job_failed"
+	// EventJobResumed fires when a restarted yieldd picks an incomplete
+	// job back up from its last durable checkpoint; Done carries the
+	// checkpoint frontier and Restarts the job's restart count.
+	EventJobResumed EventType = "job_resumed"
+	// EventJobCheckpoint is a throttled record of a build checkpoint
+	// reaching the store, carrying the checkpointed chip frontier.
+	EventJobCheckpoint EventType = "job_checkpoint"
 	// EventCacheHit fires when a request is answered from the result
 	// cache; EventCacheEvict when an entry ages out.
 	EventCacheHit   EventType = "cache_hit"
@@ -42,6 +49,7 @@ const (
 var allEventTypes = map[EventType]bool{
 	EventJobAdmitted: true, EventJobStarted: true, EventJobProgress: true,
 	EventJobPhase: true, EventJobCompleted: true, EventJobFailed: true,
+	EventJobResumed: true, EventJobCheckpoint: true,
 	EventCacheHit: true, EventCacheEvict: true,
 	EventQueuePressure: true, EventShed: true,
 }
@@ -91,6 +99,8 @@ type Event struct {
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	// ElapsedMS is the build wall time of job_completed events.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Restarts is the crash-resume count of job_resumed events.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // EventBus is a bounded, drop-oldest, multi-subscriber pub/sub for

@@ -23,7 +23,19 @@ const (
 	ClassCanceled   ErrClass = "canceled"
 	ClassShed       ErrClass = "shed"
 	ClassInternal   ErrClass = "internal"
+	// ClassStorage marks durability-layer failures (WAL append, snapshot
+	// write, recovery). Storage errors degrade durability, not requests:
+	// they surface on store_errors_total and job records, never as a
+	// request rejection.
+	ClassStorage ErrClass = "storage"
 )
+
+// Classer is implemented by errors that know their own taxonomy class
+// (the store package's Error, for one). ClassifyError checks for it
+// before falling back to the context-error rules.
+type Classer interface {
+	ErrorClass() ErrClass
+}
 
 // String returns the class label.
 func (c ErrClass) String() string { return string(c) }
@@ -34,6 +46,9 @@ func (c ErrClass) String() string { return string(c) }
 // Validation and shed outcomes never reach this function — they are
 // rejected before an error value exists and are classified at the
 // rejection site.
+// Errors implementing Classer (however deeply wrapped) take precedence
+// after the context rules, so a storage failure inside a build surfaces
+// as ClassStorage rather than a generic internal error.
 func ClassifyError(err error) ErrClass {
 	switch {
 	case err == nil:
@@ -42,7 +57,10 @@ func ClassifyError(err error) ErrClass {
 		return ClassTimeout
 	case errors.Is(err, context.Canceled):
 		return ClassCanceled
-	default:
-		return ClassInternal
 	}
+	var c Classer
+	if errors.As(err, &c) {
+		return c.ErrorClass()
+	}
+	return ClassInternal
 }

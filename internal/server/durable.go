@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"yieldcache"
+	"yieldcache/internal/obs"
+	"yieldcache/internal/store"
+)
+
+// maxIdemKeyLen bounds the Idempotency-Key header so a hostile client
+// cannot stuff arbitrary blobs into the idempotency map and the WAL.
+const maxIdemKeyLen = 256
+
+// storeDo runs one storage operation through the bounded-retry helper
+// and logs (but never propagates) a final failure: storage errors
+// degrade durability, they do not fail requests.
+func (s *Server) storeDo(op string, fn func() error) {
+	if s.store == nil {
+		return
+	}
+	if err := store.Do(op, fn); err != nil {
+		s.log.Warn("store operation failed; durability degraded", "op", op, "error", err)
+	}
+}
+
+// persistJob appends the job's current lifecycle state to the store.
+// The non-synchronised job fields read here (started, class, errMsg)
+// are only ever written by the goroutine calling persistJob, so the
+// reads are race-free.
+func (s *Server) persistJob(j *job, p params, state string) {
+	if s.store == nil {
+		return
+	}
+	rec := store.JobRecord{
+		ID: j.id, Seq: j.seq, Key: j.key, State: state,
+		Seed: p.seed, Chips: p.chips,
+		ConsName: p.cons.Name, DelaySigmaK: p.cons.DelaySigmaK, LeakageMult: p.cons.LeakageMult,
+		Schemes: p.schemes, TimeoutMS: p.timeout.Milliseconds(),
+		Restarts:      j.restarts,
+		QueueWaitMS:   j.priorWaitMS,
+		CreatedUnixMS: j.created.UnixMilli(),
+	}
+	if state != jobQueued && !j.started.IsZero() {
+		rec.QueueWaitMS = j.priorWaitMS + j.started.Sub(j.admitted).Seconds()*1e3
+	}
+	if state == jobDone || state == jobFailed {
+		rec.Class = string(j.class)
+		rec.Error = j.errMsg
+	}
+	s.storeDo("put_job", func() error { return s.store.PutJob(rec) })
+}
+
+// persistOutcome records a build's terminal state: the final job
+// record, the cached result body, evicted results, expired idempotency
+// keys, and the checkpoint that is no longer needed.
+func (s *Server) persistOutcome(j *job, p params, c *call, key string, cached bool, evicted, expiredIdem []string) {
+	if s.store == nil {
+		return
+	}
+	state := jobDone
+	if c.err != nil {
+		state = jobFailed
+	}
+	s.persistJob(j, p, state)
+	if cached {
+		if body, err := json.Marshal(c.res); err == nil {
+			s.storeDo("put_result", func() error { return s.store.PutResult(key, body) })
+		}
+	}
+	for _, old := range evicted {
+		old := old
+		s.storeDo("delete_result", func() error { return s.store.DeleteResult(old) })
+	}
+	for _, ik := range expiredIdem {
+		ik := ik
+		s.storeDo("delete_idem", func() error { return s.store.DeleteIdem(ik) })
+	}
+	if s.cfg.CheckpointInterval > 0 || c.resume != nil {
+		s.storeDo("delete_checkpoint", func() error { return s.store.DeleteCheckpoint(j.id) })
+	}
+}
+
+// checkpointSink returns the build-checkpoint callback for one job:
+// encode, persist with retry, and announce on the event bus. A sink
+// error skips that checkpoint; the build carries on.
+func (s *Server) checkpointSink(j *job) func(*yieldcache.BuildCheckpoint) error {
+	jobID := j.id
+	return func(bc *yieldcache.BuildCheckpoint) error {
+		var buf bytes.Buffer
+		if err := bc.Encode(&buf); err != nil {
+			return err
+		}
+		if err := store.Do("put_checkpoint", func() error {
+			return s.store.PutCheckpoint(jobID, bc.Done, buf.Bytes())
+		}); err != nil {
+			s.log.Warn("checkpoint persist failed", "job", jobID, "chips", bc.Done, "error", err)
+			return err
+		}
+		s.bus.Publish(obs.Event{Type: obs.EventJobCheckpoint, Job: jobID,
+			Done: int64(bc.Done), Total: int64(bc.N)})
+		return nil
+	}
+}
+
+// recordIdem binds an Idempotency-Key to the study that answers it, in
+// memory and (when a store is attached) durably. No-op without a key.
+// Idempotency works store-less too — it then lasts one process
+// lifetime, like the rest of the in-memory state.
+func (s *Server) recordIdem(idemKey, bodyHash, studyKey, jobID string) {
+	if idemKey == "" {
+		return
+	}
+	rec := store.IdemRecord{Key: idemKey, BodyHash: bodyHash, StudyKey: studyKey, JobID: jobID}
+	s.mu.Lock()
+	s.idem[idemKey] = rec
+	s.idemByKey[studyKey] = append(s.idemByKey[studyKey], idemKey)
+	s.mu.Unlock()
+	s.storeDo("put_idem", func() error { return s.store.PutIdem(rec) })
+}
+
+// idemLookupLocked resolves a recorded Idempotency-Key while s.mu is
+// held. When it fully answers the request — body-hash conflict (409),
+// replay of the recorded response, or coalescing onto the in-flight
+// build — it unlocks and returns true. Otherwise the stale record (if
+// any) is expired and the caller proceeds with the lock still held.
+func (s *Server) idemLookupLocked(w http.ResponseWriter, r *http.Request, idemKey, bodyHash string, p params) bool {
+	rec, ok := s.idem[idemKey]
+	if !ok {
+		return false
+	}
+	if rec.BodyHash != bodyHash {
+		s.mu.Unlock()
+		obs.C("server_idempotency_conflicts_total").Inc()
+		s.log.Warn("idempotency key reused with different body", "job", rec.JobID)
+		writeErrorClass(w, http.StatusConflict, obs.ClassValidation,
+			"Idempotency-Key was already used with a different request body")
+		return true
+	}
+	if res, hit := s.cache[rec.StudyKey]; hit {
+		s.mu.Unlock()
+		obs.C("server_idempotent_replays_total").Inc()
+		if j, found := s.jobsReg.lookupKey(rec.StudyKey); found {
+			j.cacheHits.Add(1)
+		}
+		w.Header().Set("Idempotency-Replayed", "true")
+		s.log.Debug("study replayed for idempotency key", "job", rec.JobID, "key", rec.StudyKey)
+		writeResult(w, res, p, true, rec.JobID)
+		return true
+	}
+	if c, flying := s.inflight[rec.StudyKey]; flying {
+		s.mu.Unlock()
+		obs.C("server_study_coalesced_total").Inc()
+		c.job.coalesced.Add(1)
+		s.await(w, r, c, p)
+		return true
+	}
+	// The recorded result was evicted (or its build failed): the key
+	// expired with the cache entry. Forget it and retry fresh.
+	delete(s.idem, idemKey)
+	go s.storeDo("delete_idem", func() error { return s.store.DeleteIdem(idemKey) })
+	return false
+}
+
+// expireIdemLocked drops every idempotency record bound to an evicted
+// study key, returning the expired keys so the caller can delete them
+// from the store after releasing s.mu. Caller holds s.mu.
+func (s *Server) expireIdemLocked(studyKey string) []string {
+	keys := s.idemByKey[studyKey]
+	delete(s.idemByKey, studyKey)
+	expired := keys[:0]
+	for _, ik := range keys {
+		if _, ok := s.idem[ik]; ok {
+			delete(s.idem, ik)
+			expired = append(expired, ik)
+		}
+	}
+	return expired
+}
+
+// paramsFromRecord rebuilds the canonical study parameters from a
+// persisted job record, so a resumed build runs exactly the study the
+// crashed server admitted.
+func (s *Server) paramsFromRecord(rec store.JobRecord) params {
+	p := params{
+		seed:    rec.Seed,
+		chips:   rec.Chips,
+		cons:    yieldcache.Constraints{Name: rec.ConsName, DelaySigmaK: rec.DelaySigmaK, LeakageMult: rec.LeakageMult},
+		schemes: rec.Schemes,
+		timeout: time.Duration(rec.TimeoutMS) * time.Millisecond,
+	}
+	if p.timeout <= 0 {
+		p.timeout = s.cfg.DefaultTimeout
+	}
+	return p
+}
+
+// recoverFromStore replays the store into the server's in-memory state:
+// the result cache (in original FIFO order), live idempotency records,
+// finished-job history, and — the point of the exercise — re-admits
+// every job that was queued or running when the last process died,
+// resuming each from its newest readable checkpoint. Runs once from
+// New, before the server serves any request.
+func (s *Server) recoverFromStore() {
+	if s.store == nil {
+		return
+	}
+	rec, err := s.store.Recover()
+	if err != nil {
+		s.log.Error("store recovery failed; starting empty", "error", err)
+		return
+	}
+
+	if s.cfg.CacheEntries > 0 {
+		start := 0
+		if len(rec.Results) > s.cfg.CacheEntries {
+			start = len(rec.Results) - s.cfg.CacheEntries
+		}
+		for _, res := range rec.Results[start:] {
+			var sr StudyResponse
+			if err := json.Unmarshal(res.Body, &sr); err != nil {
+				s.log.Warn("recovered result unreadable; dropped", "key", res.Key, "error", err)
+				continue
+			}
+			s.cache[res.Key] = &sr
+			s.order = append(s.order, res.Key)
+		}
+	}
+
+	resumable := make(map[string]bool)
+	for _, jr := range rec.Jobs {
+		if jr.State == jobQueued || jr.State == jobRunning {
+			resumable[jr.Key] = true
+		}
+	}
+	for _, ir := range rec.Idem {
+		if _, cached := s.cache[ir.StudyKey]; cached || resumable[ir.StudyKey] {
+			s.idem[ir.Key] = ir
+			s.idemByKey[ir.StudyKey] = append(s.idemByKey[ir.StudyKey], ir.Key)
+		} else {
+			// The result this key replayed is gone: expired.
+			ik := ir.Key
+			s.storeDo("delete_idem", func() error { return s.store.DeleteIdem(ik) })
+		}
+	}
+
+	resumed := 0
+	for _, jr := range rec.Jobs {
+		switch jr.State {
+		case jobDone, jobFailed:
+			s.jobsReg.restoreFinished(jr, s.log)
+		case jobQueued, jobRunning:
+			s.resumeJob(jr)
+			resumed++
+		}
+	}
+	obs.C("server_store_recoveries_total").Inc()
+	obs.G("server_jobs_resumed").Set(float64(resumed))
+	s.log.Info("store recovered",
+		"results", len(s.order), "jobs", len(rec.Jobs), "resumed", resumed, "idem_keys", len(s.idem))
+}
+
+// resumeJob re-admits one interrupted job under its original id,
+// loading its newest checkpoint so the build continues where the dead
+// process stopped (an unreadable checkpoint falls back to a full
+// rebuild — correctness never depends on the checkpoint).
+func (s *Server) resumeJob(jr store.JobRecord) {
+	p := s.paramsFromRecord(jr)
+	key := jr.Key
+	var resume *yieldcache.BuildCheckpoint
+	ckptChips := 0
+	if data, chips, err := s.store.Checkpoint(jr.ID); err == nil {
+		bc, derr := yieldcache.DecodeBuildCheckpoint(bytes.NewReader(data))
+		if derr != nil {
+			s.log.Warn("checkpoint unreadable; resuming from scratch", "job", jr.ID, "error", derr)
+		} else {
+			resume, ckptChips = bc, chips
+		}
+	}
+
+	j := s.jobsReg.restoreResumed(jr, s.log)
+	c := &call{done: make(chan struct{}), job: j, resume: resume}
+	s.mu.Lock()
+	s.inflight[key] = c
+	s.jobs++
+	admitted := s.jobs
+	s.mu.Unlock()
+	obs.G("server_jobs_admitted").Set(float64(admitted))
+	obs.C("server_jobs_resumed_total").Inc()
+	s.wg.Add(1)
+	s.bus.Publish(obs.Event{Type: obs.EventJobResumed, Job: j.id, Key: key,
+		Done: int64(ckptChips), Total: int64(p.chips), Restarts: j.restarts})
+	j.scope.Log().Info("job resumed from store",
+		"restarts", j.restarts, "checkpoint_chips", ckptChips,
+		"seed", p.seed, "chips", p.chips)
+	// Persist the bumped restart count right away, so a crash during
+	// the resumed build counts this lifetime too.
+	s.persistJob(j, p, jobQueued)
+	go s.run(key, p, c)
+}
+
+// restoreFinished rebuilds one finished job's history entry from its
+// persisted record. Span traces and exact timings died with the old
+// process; identity, outcome and provenance survive.
+func (r *jobRegistry) restoreFinished(rec store.JobRecord, base *slog.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Seq > r.seq {
+		r.seq = rec.Seq
+	}
+	j := &job{
+		id: rec.ID, seq: rec.Seq, key: rec.Key,
+		scope: obs.NewScope(rec.ID, base),
+		seed:  rec.Seed, chips: rec.Chips,
+		constraints: rec.ConsName, schemes: rec.Schemes,
+		created:     time.UnixMilli(rec.CreatedUnixMS),
+		state:       rec.State,
+		class:       obs.ErrClass(rec.Class),
+		errMsg:      rec.Error,
+		restarts:    rec.Restarts,
+		priorWaitMS: rec.QueueWaitMS,
+	}
+	j.admitted = j.created
+	j.scope.SetProgressTotal(int64(rec.Chips))
+	if rec.State == jobDone {
+		j.scope.AddProgress(int64(rec.Chips))
+	}
+	r.byID[j.id] = j
+	if rec.State == jobDone {
+		r.byKey[j.key] = j
+	}
+	r.done = append(r.done, j)
+	r.evictLocked()
+}
+
+// restoreResumed rebuilds an interrupted job under its original id —
+// X-Job-Id stays valid across the restart — with its restart count
+// bumped and its past queue waits carried in priorWaitMS.
+func (r *jobRegistry) restoreResumed(rec store.JobRecord, base *slog.Logger) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Seq > r.seq {
+		r.seq = rec.Seq
+	}
+	j := &job{
+		id: rec.ID, seq: rec.Seq, key: rec.Key,
+		scope: obs.NewScope(rec.ID, base),
+		seed:  rec.Seed, chips: rec.Chips,
+		constraints: rec.ConsName, schemes: rec.Schemes,
+		created:     time.UnixMilli(rec.CreatedUnixMS),
+		state:       jobQueued,
+		restarts:    rec.Restarts + 1,
+		priorWaitMS: rec.QueueWaitMS,
+	}
+	j.admitted = time.Now()
+	j.scope.AttachEvents(r.bus, r.streamInterval)
+	r.byID[j.id] = j
+	r.byKey[j.key] = j
+	return j
+}

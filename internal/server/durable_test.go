@@ -1,0 +1,321 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"yieldcache/internal/store"
+)
+
+// postStudyIdem posts a study with an Idempotency-Key header.
+func postStudyIdem(t *testing.T, url, body, key string) (*http.Response, StudyResponse, ErrorResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/study", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/study: %v", err)
+	}
+	defer resp.Body.Close()
+	var ok StudyResponse
+	var fail ErrorResponse
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(&ok); err != nil {
+			t.Fatalf("decoding StudyResponse: %v", err)
+		}
+	} else if err := dec.Decode(&fail); err != nil {
+		t.Fatalf("decoding ErrorResponse (status %d): %v", resp.StatusCode, err)
+	}
+	return resp, ok, fail
+}
+
+func drain(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// A restarted server must answer a repeated study from the recovered
+// result cache and still list the producing job under its original id.
+func TestRestartRecoversCacheAndHistory(t *testing.T) {
+	st := store.NewMem()
+	srv1 := New(Config{Workers: 2, Store: st})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	body := `{"chips": 50, "seed": 2006}`
+	resp, first, _ := postStudyIdem(t, ts1.URL, body, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first build: status %d", resp.StatusCode)
+	}
+	jobID := resp.Header.Get("X-Job-Id")
+	drain(t, srv1)
+	ts1.Close()
+
+	// "Restart": a fresh server over the same store.
+	srv2 := New(Config{Workers: 2, Store: st})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer drain(t, srv2)
+
+	resp, second, _ := postStudyIdem(t, ts2.URL, body, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart request: status %d", resp.StatusCode)
+	}
+	if !second.Cached {
+		t.Error("post-restart identical request rebuilt instead of using the recovered cache")
+	}
+	if second.Regular.BaseTotal != first.Regular.BaseTotal {
+		t.Errorf("recovered result differs: base total %d vs %d",
+			second.Regular.BaseTotal, first.Regular.BaseTotal)
+	}
+	if got := resp.Header.Get("X-Job-Id"); got != jobID {
+		t.Errorf("cache hit attributed to job %q, want original %q", got, jobID)
+	}
+
+	jresp, err := http.Get(ts2.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s after restart: status %d", jobID, jresp.StatusCode)
+	}
+	var detail JobDetail
+	if err := json.NewDecoder(jresp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.State != jobDone {
+		t.Errorf("recovered job state %q, want done", detail.State)
+	}
+	if detail.QueueWaitMS < 0 {
+		t.Errorf("recovered job queue wait %v ms is negative", detail.QueueWaitMS)
+	}
+}
+
+// Kill -9 mid-build: a new server over the crash-instant store state
+// must resume the job under the same id, finish it, and produce tables
+// bit-identical to an uninterrupted run.
+func TestCrashedBuildResumesBitIdentical(t *testing.T) {
+	body := `{"chips": 600, "seed": 2006}`
+
+	// The uninterrupted reference.
+	ref := New(Config{Workers: 2})
+	tsRef := httptest.NewServer(ref.Handler())
+	_, want, _ := postStudyIdem(t, tsRef.URL, body, "")
+	drain(t, ref)
+	tsRef.Close()
+
+	st := store.NewMem()
+	srv1 := New(Config{Workers: 2, Store: st, CheckpointInterval: time.Millisecond})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	// Start the build and snapshot "the disk" once a checkpoint lands.
+	// Fire-and-forget: the "crashed" server's response is irrelevant.
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts1.URL+"/v1/study", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "retry-after-crash")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	var crash *store.Mem
+	var jobID string
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, err := st.Recover()
+		if err != nil {
+			t.Errorf("Recover: %v", err)
+			return
+		}
+		if len(rec.Jobs) > 0 {
+			jobID = rec.Jobs[0].ID
+			if _, chips, err := st.Checkpoint(jobID); err == nil && chips > 0 && chips < 600 {
+				crash = st.Clone() // the kill -9 instant
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Abandon srv1 without draining — its goroutines write to st, not
+	// to the clone, so the clone stays frozen at the crash instant.
+	ts1.Close()
+	if crash == nil {
+		t.Skip("build finished before a mid-flight checkpoint landed; nothing to crash")
+	}
+
+	srv2 := New(Config{Workers: 2, Store: crash, CheckpointInterval: time.Millisecond})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer drain(t, srv2)
+
+	// The resumed job carries its identity and restart count.
+	var detail JobDetail
+	for i := 0; ; i++ {
+		jresp, err := http.Get(ts2.URL + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jresp.StatusCode != http.StatusOK {
+			t.Fatalf("resumed job %s not found after restart: status %d", jobID, jresp.StatusCode)
+		}
+		if err := json.NewDecoder(jresp.Body).Decode(&detail); err != nil {
+			t.Fatal(err)
+		}
+		jresp.Body.Close()
+		if detail.State == jobDone || detail.State == jobFailed {
+			break
+		}
+		if i > 20000 {
+			t.Fatalf("resumed job stuck in state %q", detail.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if detail.State != jobDone {
+		t.Fatalf("resumed job finished %q (%s), want done", detail.State, detail.Error)
+	}
+	if !detail.Resumed || detail.Restarts != 1 {
+		t.Errorf("resumed job reports resumed=%v restarts=%d, want true/1", detail.Resumed, detail.Restarts)
+	}
+
+	// And its result must be bit-identical to the uninterrupted build.
+	resp, got, _ := postStudyIdem(t, ts2.URL, body, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetching resumed result: status %d", resp.StatusCode)
+	}
+	if !got.Cached {
+		t.Error("resumed result not served from cache")
+	}
+	assertSameTables(t, got, want)
+
+	// The idempotency key recorded before the crash replays too.
+	resp, replayed, _ := postStudyIdem(t, ts2.URL, body, "retry-after-crash")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idempotent retry after crash: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Error("idempotent retry after crash not marked as replayed")
+	}
+	assertSameTables(t, replayed, want)
+}
+
+// assertSameTables compares the paper tables of two study responses.
+func assertSameTables(t *testing.T, got, want StudyResponse) {
+	t.Helper()
+	g, err := json.Marshal(struct {
+		R, H             Breakdown
+		RTotals, HTotals []ConstraintTotals
+	}{got.Regular, got.Horizontal, got.RegularTotals, got.HorizontalTotals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(struct {
+		R, H             Breakdown
+		RTotals, HTotals []ConstraintTotals
+	}{want.Regular, want.Horizontal, want.RegularTotals, want.HorizontalTotals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != string(w) {
+		t.Errorf("tables differ:\n got %s\nwant %s", g, w)
+	}
+}
+
+// The Idempotency-Key contract: same key + same body replays the stored
+// response; same key + different body is refused with 409; keys expire
+// with the result cache.
+func TestIdempotencyKeyContract(t *testing.T) {
+	srv := New(Config{Workers: 2, Store: store.NewMem(), CacheEntries: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer drain(t, srv)
+
+	body := `{"chips": 40, "seed": 2006}`
+	resp, first, _ := postStudyIdem(t, ts.URL, body, "key-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Idempotency-Replayed") == "true" {
+		t.Error("first use of a key marked replayed")
+	}
+	jobID := resp.Header.Get("X-Job-Id")
+
+	// Same key, same body: replayed.
+	resp, second, _ := postStudyIdem(t, ts.URL, body, "key-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Error("replay not marked with Idempotency-Replayed")
+	}
+	if resp.Header.Get("X-Job-Id") != jobID {
+		t.Errorf("replay attributed to %q, want %q", resp.Header.Get("X-Job-Id"), jobID)
+	}
+	if second.Regular.BaseTotal != first.Regular.BaseTotal {
+		t.Error("replayed body differs from original")
+	}
+
+	// Same key, different body: conflict.
+	resp, _, fail := postStudyIdem(t, ts.URL, `{"chips": 41, "seed": 2006}`, "key-1")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("key reuse with different body: status %d, want 409", resp.StatusCode)
+	}
+	if fail.Class != "validation" {
+		t.Errorf("conflict class %q, want validation", fail.Class)
+	}
+
+	// A new study evicts the old result (CacheEntries: 1) and with it
+	// the key binding: the key is then free for a different body.
+	resp, _, _ = postStudyIdem(t, ts.URL, `{"chips": 45, "seed": 7}`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evicting build: status %d", resp.StatusCode)
+	}
+	resp, _, _ = postStudyIdem(t, ts.URL, `{"chips": 46, "seed": 8}`, "key-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("key after expiry: status %d, want 200 (rebound to new body)", resp.StatusCode)
+	}
+
+	// Oversized keys are rejected outright.
+	resp, _, _ = postStudyIdem(t, ts.URL, body, strings.Repeat("k", maxIdemKeyLen+1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized key: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// Storage failures must degrade durability, never fail requests.
+func TestStoreErrorsDoNotFailRequests(t *testing.T) {
+	st := store.NewMem()
+	if err := st.Close(); err != nil { // every write now errors
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer drain(t, srv)
+
+	resp, res, _ := postStudyIdem(t, ts.URL, `{"chips": 30, "seed": 2006}`, "key-x")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("study with dead store: status %d, want 200", resp.StatusCode)
+	}
+	if res.Regular.N != 30 {
+		t.Errorf("study with dead store returned %d chips", res.Regular.N)
+	}
+}

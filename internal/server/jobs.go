@@ -37,12 +37,19 @@ type job struct {
 	constraints string
 	schemes     []string
 
-	created  time.Time
+	created  time.Time // first admission; survives resume for display
+	admitted time.Time // admission into THIS server lifetime; queue waits measure from here
 	state    string
 	started  time.Time // worker slot acquired
 	finished time.Time
 	errMsg   string
 	class    obs.ErrClass // terminal error class; "" until finished
+
+	// restarts counts crash resumes; priorWaitMS accumulates the queue
+	// waits spent before each restart, so QueueWaitMS stays honest
+	// across a server's lifetimes.
+	restarts    int
+	priorWaitMS float64
 
 	cacheHits atomic.Int64 // later requests served from this job's cached result
 	coalesced atomic.Int64 // concurrent identical requests that waited on this build
@@ -123,17 +130,20 @@ func (r *jobRegistry) newJobLocked(p params, key string, base *slog.Logger) *job
 		schemes:     p.schemes,
 		created:     time.Now(),
 	}
+	j.admitted = j.created
 	j.scope.AttachEvents(r.bus, r.streamInterval)
 	return j
 }
 
-// markRunning transitions a job to running and returns its queue wait.
+// markRunning transitions a job to running and returns its queue wait
+// (within this server lifetime; resumed jobs carry earlier waits in
+// priorWaitMS).
 func (r *jobRegistry) markRunning(j *job) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	j.state = jobRunning
 	j.started = time.Now()
-	return j.started.Sub(j.created)
+	return j.started.Sub(j.admitted)
 }
 
 // finish transitions a job to done/failed — stamping its error class —
@@ -215,6 +225,8 @@ func (r *jobRegistry) summaryLocked(j *job) JobSummary {
 		ChipsDone:   done,
 		ChipsTotal:  total,
 		Class:       string(j.class),
+		Resumed:     j.restarts > 0,
+		Restarts:    j.restarts,
 	}
 }
 
@@ -277,6 +289,8 @@ func (s *Server) jobDetail(j *job) JobDetail {
 	s.jobsReg.mu.Lock()
 	sum := s.jobsReg.summaryLocked(j)
 	started, finished := j.started, j.finished
+	admitted := j.admitted
+	priorWait := j.priorWaitMS
 	errMsg := j.errMsg
 	s.jobsReg.mu.Unlock()
 
@@ -290,9 +304,15 @@ func (s *Server) jobDetail(j *job) JobDetail {
 	now := time.Now()
 	switch sum.State {
 	case jobQueued:
-		d.QueueWaitMS = now.Sub(sum.CreatedAt).Seconds() * 1e3
+		d.QueueWaitMS = priorWait + now.Sub(admitted).Seconds()*1e3
 	default:
-		d.QueueWaitMS = started.Sub(sum.CreatedAt).Seconds() * 1e3
+		// Jobs restored from the store (and create-time failures) never
+		// ran in this process: started is zero and priorWaitMS already
+		// holds the whole recorded wait.
+		d.QueueWaitMS = priorWait
+		if !started.IsZero() {
+			d.QueueWaitMS += started.Sub(admitted).Seconds() * 1e3
+		}
 	}
 	switch sum.State {
 	case jobRunning:

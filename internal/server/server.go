@@ -11,7 +11,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +30,7 @@ import (
 
 	"yieldcache"
 	"yieldcache/internal/obs"
+	"yieldcache/internal/store"
 )
 
 // Config parameterises the service. Zero fields take the defaults
@@ -71,6 +75,17 @@ type Config struct {
 	// a "job" attribute matching the /v1/jobs id. Nil discards logs
 	// (tests); yieldd passes a text or JSON slog handler.
 	Logger *slog.Logger
+	// Store persists job records, the result cache, idempotency keys
+	// and build checkpoints so they survive restarts. Nil (the default)
+	// disables durability entirely — no storage code runs on any
+	// request path. The server replays the store on New and resumes
+	// incomplete jobs; the caller owns the store's lifetime (Close).
+	Store store.Store
+	// CheckpointInterval is how often a running build checkpoints its
+	// measured prefix to the Store (default 2s; negative disables
+	// checkpointing while keeping the rest of the durability layer).
+	// Ignored when Store is nil.
+	CheckpointInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -113,6 +128,11 @@ func (c *Config) fill() {
 	if c.FlightSamples <= 0 {
 		c.FlightSamples = 512
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 2 * time.Second
+	} else if c.CheckpointInterval < 0 {
+		c.CheckpointInterval = 0
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -124,10 +144,11 @@ type studyBuilder func(ctx context.Context, cfg yieldcache.StudyConfig) (*yieldc
 // call is one in-progress build; requests for the same canonical key
 // wait on done instead of building again.
 type call struct {
-	done chan struct{}
-	job  *job           // the build's job-registry entry; immutable
-	res  *StudyResponse // immutable once done is closed
-	err  error
+	done   chan struct{}
+	job    *job                        // the build's job-registry entry; immutable
+	resume *yieldcache.BuildCheckpoint // non-nil when resuming a crashed build
+	res    *StudyResponse              // immutable once done is closed
+	err    error
 }
 
 // Server is the yieldd request handler plus its job queue and caches.
@@ -147,6 +168,10 @@ type Server struct {
 	cache    map[string]*StudyResponse
 	order    []string // cache keys, oldest first
 	draining bool
+
+	store     store.Store                 // nil when durability is disabled
+	idem      map[string]store.IdemRecord // Idempotency-Key -> record
+	idemByKey map[string][]string         // study key -> idempotency keys bound to it
 
 	jobsReg *jobRegistry   // per-job telemetry behind /v1/jobs
 	phases  *phaseLabelSet // cardinality cap for build-phase histograms
@@ -183,6 +208,9 @@ func New(cfg Config) *Server {
 		slots:        make(chan struct{}, cfg.Workers),
 		inflight:     make(map[string]*call),
 		cache:        make(map[string]*StudyResponse),
+		store:        cfg.Store,
+		idem:         make(map[string]store.IdemRecord),
+		idemByKey:    make(map[string][]string),
 		jobsReg:      newJobRegistry(cfg.JobHistory, bus, cfg.StreamInterval),
 		phases:       newPhaseLabelSet(maxPhaseLabels),
 		bus:          bus,
@@ -193,6 +221,7 @@ func New(cfg Config) *Server {
 		s.flight = obs.NewFlightRecorder(cfg.FlightInterval, cfg.FlightSamples, s.flightExtra)
 		s.flight.Start()
 	}
+	s.recoverFromStore()
 	return s
 }
 
@@ -380,8 +409,15 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// The body is read raw (not streamed into the decoder) because the
+	// idempotency layer hashes the exact bytes the client sent.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: "+err.Error())
+		return
+	}
 	var req StudyRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
@@ -394,7 +430,22 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 	key := p.key()
 
+	idemKey := r.Header.Get("Idempotency-Key")
+	if len(idemKey) > maxIdemKeyLen {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("Idempotency-Key longer than %d bytes", maxIdemKeyLen))
+		return
+	}
+	var bodyHash string
+	if idemKey != "" {
+		sum := sha256.Sum256(body)
+		bodyHash = hex.EncodeToString(sum[:])
+	}
+
 	s.mu.Lock()
+	if idemKey != "" && s.idemLookupLocked(w, r, idemKey, bodyHash, p) {
+		return
+	}
 	if res, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		obs.C("server_study_cache_hits_total").Inc()
@@ -405,6 +456,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		}
 		s.bus.Publish(obs.Event{Type: obs.EventCacheHit, Job: jobID, Key: key})
 		s.log.Debug("study served from cache", "job", jobID, "key", key)
+		s.recordIdem(idemKey, bodyHash, key, jobID)
 		writeResult(w, res, p, true, jobID)
 		return
 	}
@@ -412,6 +464,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		obs.C("server_study_coalesced_total").Inc()
 		c.job.coalesced.Add(1)
+		s.recordIdem(idemKey, bodyHash, key, c.job.id)
 		s.await(w, r, c, p)
 		return
 	}
@@ -452,6 +505,8 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	c.job.scope.Log().Info("job admitted",
 		"seed", p.seed, "chips", p.chips, "constraints", p.cons.Name,
 		"schemes", strings.Join(p.schemes, "+"), "timeout", p.timeout)
+	s.recordIdem(idemKey, bodyHash, key, c.job.id)
+	s.persistJob(c.job, p, jobQueued)
 
 	go s.run(key, p, c)
 	s.await(w, r, c, p)
@@ -480,7 +535,8 @@ func (s *Server) run(key string, p params, c *call) {
 		s.bus.Publish(obs.Event{Type: obs.EventJobStarted, Job: j.id,
 			QueueWaitMS: wait.Seconds() * 1e3, Total: int64(p.chips)})
 		j.scope.Log().Info("build started", "queue_wait_ms", wait.Seconds()*1e3)
-		c.res, c.err = s.compute(ctx, p)
+		s.persistJob(j, p, jobRunning)
+		c.res, c.err = s.compute(ctx, p, c)
 		<-s.slots
 	case <-ctx.Done():
 		qsp.End()
@@ -501,7 +557,8 @@ func (s *Server) run(key string, p params, c *call) {
 			"chips_done", done, "chips_total", total, "elapsed_ms", c.res.ElapsedMS)
 	}
 
-	var evicted []string
+	var evicted, expiredIdem []string
+	cached := false
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if c.err == nil && s.cfg.CacheEntries > 0 {
@@ -511,10 +568,12 @@ func (s *Server) run(key string, p params, c *call) {
 				s.order = s.order[1:]
 				delete(s.cache, oldest)
 				evicted = append(evicted, oldest)
+				expiredIdem = append(expiredIdem, s.expireIdemLocked(oldest)...)
 				obs.C("server_study_cache_evictions_total").Inc()
 			}
 			s.cache[key] = c.res
 			s.order = append(s.order, key)
+			cached = true
 		}
 	}
 	s.jobs--
@@ -523,16 +582,27 @@ func (s *Server) run(key string, p params, c *call) {
 	for _, old := range evicted {
 		s.bus.Publish(obs.Event{Type: obs.EventCacheEvict, Key: old})
 	}
+	s.persistOutcome(j, p, c, key, cached, evicted, expiredIdem)
 	close(c.done)
 }
 
 // compute builds the populations and assembles the full (unfiltered)
 // response. Scatter and saved configurations are always computed — they
 // are cheap next to the build — so a cached entry can serve any
-// combination of include_* flags.
-func (s *Server) compute(ctx context.Context, p params) (*StudyResponse, error) {
+// combination of include_* flags. With a store attached, the build
+// checkpoints its measured prefix every CheckpointInterval and, on a
+// resumed call, continues from the checkpoint decoded at recovery.
+func (s *Server) compute(ctx context.Context, p params, c *call) (*StudyResponse, error) {
 	t0 := time.Now()
-	study, err := s.build(ctx, yieldcache.StudyConfig{Chips: p.chips, Seed: p.seed, Constraints: &p.cons})
+	scfg := yieldcache.StudyConfig{Chips: p.chips, Seed: p.seed, Constraints: &p.cons}
+	if s.store != nil && (s.cfg.CheckpointInterval > 0 || c.resume != nil) {
+		scfg.Checkpoint = &yieldcache.CheckpointConfig{
+			Interval: s.cfg.CheckpointInterval,
+			Sink:     s.checkpointSink(c.job),
+			Resume:   c.resume,
+		}
+	}
+	study, err := s.build(ctx, scfg)
 	if err != nil {
 		return nil, err
 	}

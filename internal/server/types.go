@@ -153,6 +153,12 @@ type JobSummary struct {
 	// canceled, shed, internal); empty while the job is queued or
 	// running.
 	Class string `json:"class,omitempty"`
+	// Resumed reports that the job survived at least one server restart
+	// and was picked back up from its durable checkpoint; Restarts
+	// counts how many times. The job id (and X-Job-Id) stays stable
+	// across resumes.
+	Resumed  bool `json:"resumed,omitempty"`
+	Restarts int  `json:"restarts,omitempty"`
 }
 
 // JobsResponse is the body of GET /v1/jobs.
@@ -168,7 +174,8 @@ type JobsResponse struct {
 type JobDetail struct {
 	JobSummary
 	// QueueWaitMS is the time between admission and a worker slot (for
-	// a queued job, the wait so far).
+	// a queued job, the wait so far). For a resumed job it accumulates
+	// the waits from before each restart too.
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	// ElapsedMS is the build's run time: so far when running, final
 	// when done or failed.

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"yieldcache/internal/obs"
+)
+
+// ChaosConfig parameterises fault injection. Zero values inject
+// nothing; every probability is per-operation.
+type ChaosConfig struct {
+	// ErrRate is the probability an operation fails with a transient
+	// storage error before touching the wrapped store.
+	ErrRate float64
+	// Latency is a fixed delay added before every operation.
+	Latency time.Duration
+	// PartialRate is the probability a File WAL append is torn: a random
+	// prefix of the frame lands on disk and the store wedges, exactly as
+	// a crash mid-append would. Ignored when the wrapped store is not a
+	// *File.
+	PartialRate float64
+	// Seed makes the fault sequence reproducible (0 seeds from 1).
+	Seed int64
+}
+
+// ChaosFromEnv parses the YIELDD_CHAOS environment variable —
+// "err=0.1,lat=5ms,partial=0.05,seed=7" — returning a zero config (and
+// no error) when it is unset. Unknown or malformed terms are errors so
+// a typo cannot silently disable a chaos run.
+func ChaosFromEnv() (ChaosConfig, error) {
+	var cfg ChaosConfig
+	raw := os.Getenv("YIELDD_CHAOS")
+	if raw == "" {
+		return cfg, nil
+	}
+	for _, term := range strings.Split(raw, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: malformed term %q", term)
+		}
+		switch k {
+		case "err":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: err=%q: %v", v, err)
+			}
+			cfg.ErrRate = p
+		case "lat":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: lat=%q: %v", v, err)
+			}
+			cfg.Latency = d
+		case "partial":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: partial=%q: %v", v, err)
+			}
+			cfg.PartialRate = p
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: seed=%q: %v", v, err)
+			}
+			cfg.Seed = n
+		default:
+			return cfg, fmt.Errorf("chaos: unknown term %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c ChaosConfig) Enabled() bool {
+	return c.ErrRate > 0 || c.Latency > 0 || c.PartialRate > 0
+}
+
+// Chaos wraps a Store with fault injection per ChaosConfig. It is the
+// crash-recovery harness: tests (and operators, via YIELDD_CHAOS) run
+// yieldd against a store that fails, stalls or tears writes on a
+// reproducible schedule, and assert recovery still holds.
+type Chaos struct {
+	inner Store
+	cfg   ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithChaos wraps inner per cfg. A disabled config returns inner
+// unwrapped, so the zero-injection path costs nothing. When inner is a
+// *File and PartialRate > 0, the file store's WAL failpoint is armed
+// to tear frames.
+func WithChaos(inner Store, cfg ChaosConfig) Store {
+	if !cfg.Enabled() {
+		return inner
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Chaos{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if f, ok := inner.(*File); ok && cfg.PartialRate > 0 {
+		f.failpoint = c.tear
+	}
+	return c
+}
+
+// roll returns a uniform [0,1) draw under the harness lock.
+func (c *Chaos) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// tear is the File WAL failpoint: with probability PartialRate it keeps
+// a random strict prefix of the frame and reports a crash.
+func (c *Chaos) tear(frame []byte) ([]byte, error) {
+	c.mu.Lock()
+	hit := c.rng.Float64() < c.cfg.PartialRate
+	var cut int
+	if hit && len(frame) > 0 {
+		cut = c.rng.Intn(len(frame))
+	}
+	c.mu.Unlock()
+	if !hit {
+		return frame, nil
+	}
+	obs.C(`store_chaos_injected_total{kind="torn"}`).Inc()
+	return frame[:cut], fmt.Errorf("chaos: torn write after %d/%d bytes", cut, len(frame))
+}
+
+// inject applies latency and error injection ahead of one operation.
+func (c *Chaos) inject(op string) error {
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	if c.cfg.ErrRate > 0 && c.roll() < c.cfg.ErrRate {
+		obs.C(`store_chaos_injected_total{kind="err"}`).Inc()
+		return &Error{Op: op, Transient: true, Err: fmt.Errorf("chaos: injected fault")}
+	}
+	return nil
+}
+
+// PutJob injects faults, then forwards.
+func (c *Chaos) PutJob(rec JobRecord) error {
+	if err := c.inject("put_job"); err != nil {
+		return err
+	}
+	return c.inner.PutJob(rec)
+}
+
+// PutResult injects faults, then forwards.
+func (c *Chaos) PutResult(key string, body []byte) error {
+	if err := c.inject("put_result"); err != nil {
+		return err
+	}
+	return c.inner.PutResult(key, body)
+}
+
+// DeleteResult injects faults, then forwards.
+func (c *Chaos) DeleteResult(key string) error {
+	if err := c.inject("delete_result"); err != nil {
+		return err
+	}
+	return c.inner.DeleteResult(key)
+}
+
+// PutIdem injects faults, then forwards.
+func (c *Chaos) PutIdem(rec IdemRecord) error {
+	if err := c.inject("put_idem"); err != nil {
+		return err
+	}
+	return c.inner.PutIdem(rec)
+}
+
+// DeleteIdem injects faults, then forwards.
+func (c *Chaos) DeleteIdem(key string) error {
+	if err := c.inject("delete_idem"); err != nil {
+		return err
+	}
+	return c.inner.DeleteIdem(key)
+}
+
+// PutCheckpoint injects faults, then forwards.
+func (c *Chaos) PutCheckpoint(jobID string, chips int, data []byte) error {
+	if err := c.inject("put_checkpoint"); err != nil {
+		return err
+	}
+	return c.inner.PutCheckpoint(jobID, chips, data)
+}
+
+// Checkpoint injects faults, then forwards.
+func (c *Chaos) Checkpoint(jobID string) ([]byte, int, error) {
+	if err := c.inject("checkpoint"); err != nil {
+		return nil, 0, err
+	}
+	return c.inner.Checkpoint(jobID)
+}
+
+// DeleteCheckpoint injects faults, then forwards.
+func (c *Chaos) DeleteCheckpoint(jobID string) error {
+	if err := c.inject("delete_checkpoint"); err != nil {
+		return err
+	}
+	return c.inner.DeleteCheckpoint(jobID)
+}
+
+// Recover forwards without injection: recovery is the path under test,
+// not the one being failed.
+func (c *Chaos) Recover() (*Recovered, error) { return c.inner.Recover() }
+
+// Close forwards without injection.
+func (c *Chaos) Close() error { return c.inner.Close() }

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// errClosed is the cause wrapped by every operation on a closed or
+// wedged store.
+var errClosed = errors.New("store is closed")
+
+// Mem is an in-process Store: maps under a mutex, no files. It backs
+// tests (Clone models the state a kill -9 would leave on disk) and runs
+// where the operator wants idempotency/resume semantics without a data
+// directory — durability then lasts exactly as long as the process.
+type Mem struct {
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]JobRecord
+	results map[string][]byte
+	resSeq  map[string]int64 // insertion order of live results
+	idem    map[string]IdemRecord
+	ckpts   map[string]ckptEntry
+	seq     int64
+}
+
+type ckptEntry struct {
+	chips int
+	data  []byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		jobs:    make(map[string]JobRecord),
+		results: make(map[string][]byte),
+		resSeq:  make(map[string]int64),
+		idem:    make(map[string]IdemRecord),
+		ckpts:   make(map[string]ckptEntry),
+	}
+}
+
+func (m *Mem) err(op string) error {
+	return &Error{Op: op, Err: errClosed}
+}
+
+// PutJob records the newest lifecycle state of a job.
+func (m *Mem) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("put_job")
+	}
+	m.jobs[rec.ID] = rec
+	return nil
+}
+
+// PutResult stores a result body under its study key.
+func (m *Mem) PutResult(key string, body []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("put_result")
+	}
+	// A re-put moves the key to the back of the recovery order, the
+	// same position a fresh WAL append would give it.
+	m.seq++
+	m.resSeq[key] = m.seq
+	m.results[key] = append([]byte(nil), body...)
+	return nil
+}
+
+// DeleteResult drops a result.
+func (m *Mem) DeleteResult(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("delete_result")
+	}
+	delete(m.results, key)
+	delete(m.resSeq, key)
+	return nil
+}
+
+// PutIdem stores an idempotency record.
+func (m *Mem) PutIdem(rec IdemRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("put_idem")
+	}
+	m.idem[rec.Key] = rec
+	return nil
+}
+
+// DeleteIdem expires an idempotency record.
+func (m *Mem) DeleteIdem(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("delete_idem")
+	}
+	delete(m.idem, key)
+	return nil
+}
+
+// PutCheckpoint stores a job's newest checkpoint, replacing any prior.
+func (m *Mem) PutCheckpoint(jobID string, chips int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("put_checkpoint")
+	}
+	m.ckpts[jobID] = ckptEntry{chips: chips, data: append([]byte(nil), data...)}
+	return nil
+}
+
+// Checkpoint returns a job's newest checkpoint, or ErrNoCheckpoint.
+func (m *Mem) Checkpoint(jobID string) ([]byte, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, 0, m.err("checkpoint")
+	}
+	e, ok := m.ckpts[jobID]
+	if !ok {
+		return nil, 0, ErrNoCheckpoint
+	}
+	return append([]byte(nil), e.data...), e.chips, nil
+}
+
+// DeleteCheckpoint drops a job's checkpoint.
+func (m *Mem) DeleteCheckpoint(jobID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err("delete_checkpoint")
+	}
+	delete(m.ckpts, jobID)
+	return nil
+}
+
+// Recover returns the current state: newest record per job in Seq
+// order, results in insertion order, live idempotency records.
+func (m *Mem) Recover() (*Recovered, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, m.err("recover")
+	}
+	r := &Recovered{}
+	for _, rec := range m.jobs {
+		r.Jobs = append(r.Jobs, rec)
+	}
+	sort.Slice(r.Jobs, func(i, j int) bool { return r.Jobs[i].Seq < r.Jobs[j].Seq })
+	keys := make([]string, 0, len(m.results))
+	for k := range m.results {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m.resSeq[keys[i]] < m.resSeq[keys[j]] })
+	for _, k := range keys {
+		r.Results = append(r.Results, Result{Key: k, Body: append([]byte(nil), m.results[k]...)})
+	}
+	for _, rec := range m.idem {
+		r.Idem = append(r.Idem, rec)
+	}
+	sort.Slice(r.Idem, func(i, j int) bool { return r.Idem[i].Key < r.Idem[j].Key })
+	return r, nil
+}
+
+// Close marks the store unusable.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Clone deep-copies the store's current state into a fresh Mem. Tests
+// use it to model kill -9: the clone is "the disk" at the crash
+// instant, handed to a new server as if it had reopened the files.
+func (m *Mem) Clone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	c.seq = m.seq
+	for k, v := range m.jobs {
+		v.Schemes = append([]string(nil), v.Schemes...)
+		c.jobs[k] = v
+	}
+	for k, v := range m.results {
+		c.results[k] = append([]byte(nil), v...)
+	}
+	for k, v := range m.resSeq {
+		c.resSeq[k] = v
+	}
+	for k, v := range m.idem {
+		c.idem[k] = v
+	}
+	for k, v := range m.ckpts {
+		c.ckpts[k] = ckptEntry{chips: v.chips, data: append([]byte(nil), v.data...)}
+	}
+	return c
+}

@@ -19,7 +19,7 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench (benchtime=$BENCHTIME) =="
 go test -run '^$' \
-    -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim)$' \
+    -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkPopulationBuildPairCheckpointed|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim)$' \
     -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 echo "== event-bus hot-path benchmarks (benchtime=$MICROTIME) =="

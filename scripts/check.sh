@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Pre-merge gate: formatting, vet, the docs gate (godoc coverage of the
-# facade + README/docs flag sync, see scripts/docgate), and the full
-# test suite under the race detector (the metrics registry, tracer and
-# yieldd server must stay safe under the parallel population build).
+# facade + README/docs flag sync, see scripts/docgate), the full test
+# suite under the race detector (the metrics registry, tracer and
+# yieldd server must stay safe under the parallel population build),
+# and the chaos-tagged storage fault-injection suite.
 #
 # Usage: scripts/check.sh
 set -eu
@@ -25,5 +26,8 @@ go run ./scripts/docgate
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== go test -race -tags chaos (storage fault injection) =="
+go test -race -tags chaos ./internal/store/...
 
 echo "check.sh: all green"

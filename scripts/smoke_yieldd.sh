@@ -5,7 +5,11 @@
 # finished job's state at /v1/jobs/{id}, a non-empty Chrome trace at
 # /v1/jobs/{id}/trace, the SSE event streams (progress + terminal
 # event), the runtime flight recorder at /v1/runtime/history, and the
-# per-phase build histograms on /metrics.
+# per-phase build histograms on /metrics. A second, store-backed boot
+# then exercises the durability layer for real: Idempotency-Key replay,
+# kill -9 mid-build, and a restart that must resume the interrupted job
+# from its WAL checkpoint and finish with the same tables an
+# uninterrupted build produces.
 #
 # Usage: scripts/smoke_yieldd.sh [port]   (default 18080)
 set -eu
@@ -123,5 +127,86 @@ grep -q '^runtime_goroutines ' "$TMP/metrics.prom" ||
 
 echo "== structured logs =="
 grep -q "\"job\":\"$JOB\"" "$TMP/yieldd.log" || fail "no JSON log line carries the job id"
+
+# --- durability: the crash-recovery path -----------------------------
+# Reference tables from the ephemeral server above: the big study the
+# durable server will crash out of and resume must end with these.
+CRASH_STUDY='{"chips": 6000, "seed": 2006}'
+echo "== reference build (uninterrupted) =="
+curl -sf -X POST "$BASE/v1/study" -H 'Content-Type: application/json' \
+    -d "$CRASH_STUDY" >"$TMP/reference.json" || fail "reference study failed"
+REF_TOTALS="$(grep -o '"base_total": [0-9]*' "$TMP/reference.json")"
+[ -n "$REF_TOTALS" ] || fail "reference study has no base totals"
+
+kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null
+PID=""
+
+echo "== durable boot (-store file) =="
+DATA="$TMP/data"
+start_durable() {
+    "$TMP/yieldd" -addr "127.0.0.1:$PORT" -log-format json \
+        -store file -data-dir "$DATA" -checkpoint-interval 10ms \
+        >>"$TMP/yieldd.log" 2>&1 &
+    PID=$!
+    i=0
+    until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -ge 50 ] && fail "durable server did not become healthy within 10s"
+        kill -0 "$PID" 2>/dev/null || fail "durable server exited during startup"
+        sleep 0.2
+    done
+}
+start_durable
+
+echo "== idempotency replay =="
+curl -sf -D "$TMP/idem1.h" -X POST "$BASE/v1/study" \
+    -H 'Content-Type: application/json' -H 'Idempotency-Key: smoke-key' \
+    -d '{"chips": 40, "seed": 2006}' >/dev/null || fail "idempotent study failed"
+curl -sf -D "$TMP/idem2.h" -X POST "$BASE/v1/study" \
+    -H 'Content-Type: application/json' -H 'Idempotency-Key: smoke-key' \
+    -d '{"chips": 40, "seed": 2006}' >/dev/null || fail "idempotent retry failed"
+tr -d '\r' <"$TMP/idem2.h" | grep -qi '^idempotency-replayed: true' ||
+    fail "idempotent retry not replayed"
+CONFLICT=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/study" \
+    -H 'Content-Type: application/json' -H 'Idempotency-Key: smoke-key' \
+    -d '{"chips": 41, "seed": 2006}')
+[ "$CONFLICT" = "409" ] || fail "key reuse with different body returned $CONFLICT, want 409"
+
+echo "== kill -9 mid-build =="
+curl -s -X POST "$BASE/v1/study" -H 'Content-Type: application/json' \
+    -d "$CRASH_STUDY" >/dev/null 2>&1 &
+i=0
+until [ -n "$(find "$DATA/checkpoints" -name '*.ckpt' 2>/dev/null)" ]; do
+    i=$((i + 1))
+    [ $i -ge 100 ] && fail "no checkpoint landed within 10s of starting the build"
+    sleep 0.1
+done
+CRASH_JOB="$(find "$DATA/checkpoints" -name '*.ckpt' | head -1 | xargs basename | sed 's/\.ckpt$//')"
+kill -9 "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "killed mid-build; job $CRASH_JOB checkpointed"
+
+echo "== restart and resume =="
+start_durable
+i=0
+until curl -sf "$BASE/v1/jobs/$CRASH_JOB" 2>/dev/null | grep -q '"state": "done"'; do
+    i=$((i + 1))
+    [ $i -ge 150 ] && fail "job $CRASH_JOB did not finish after restart: $(curl -s "$BASE/v1/jobs/$CRASH_JOB")"
+    sleep 0.2
+done
+curl -sf "$BASE/v1/jobs/$CRASH_JOB" >"$TMP/resumed.json"
+grep -q '"resumed": true' "$TMP/resumed.json" || fail "job not marked resumed: $(cat "$TMP/resumed.json")"
+grep -q '"restarts": 1' "$TMP/resumed.json" || fail "job restarts != 1: $(cat "$TMP/resumed.json")"
+grep -q "job_resumed" "$TMP/yieldd.log" || grep -q "job resumed from store" "$TMP/yieldd.log" ||
+    fail "restart logged no resume"
+
+echo "== resumed tables match the uninterrupted build =="
+curl -sf -X POST "$BASE/v1/study" -H 'Content-Type: application/json' \
+    -d "$CRASH_STUDY" >"$TMP/resumed_study.json" || fail "post-resume study failed"
+grep -q '"cached": true' "$TMP/resumed_study.json" || fail "resumed result not cached"
+GOT_TOTALS="$(grep -o '"base_total": [0-9]*' "$TMP/resumed_study.json")"
+[ "$GOT_TOTALS" = "$REF_TOTALS" ] ||
+    fail "resumed tables differ from reference: got [$GOT_TOTALS] want [$REF_TOTALS]"
 
 echo "smoke_yieldd: all green"

@@ -29,7 +29,19 @@ type (
 	Scheme = core.Scheme
 	// LossReason classifies a parametric failure.
 	LossReason = core.LossReason
+	// BuildCheckpoint is a consistent prefix of an interrupted pair
+	// build: the chips measured so far plus the parameters that validate
+	// a resume (see CheckpointConfig).
+	BuildCheckpoint = core.BuildCheckpoint
+	// CheckpointConfig enables periodic build checkpointing and crash
+	// resume on a study build (StudyConfig.Checkpoint).
+	CheckpointConfig = core.CheckpointConfig
 )
+
+// DecodeBuildCheckpoint reads a checkpoint written by
+// BuildCheckpoint.Encode, verifying its magic, format version and
+// payload checksum before decoding.
+var DecodeBuildCheckpoint = core.DecodeBuildCheckpoint
 
 // The constraint sets of Section 5.1.
 var (
@@ -62,6 +74,10 @@ type StudyConfig struct {
 	Seed int64
 	// Constraints selects the yield requirement (default Nominal()).
 	Constraints *Constraints
+	// Checkpoint enables periodic checkpointing of the population build
+	// and, via its Resume field, continuation of an interrupted build
+	// from a saved prefix. Nil adds nothing to the build's hot loop.
+	Checkpoint *CheckpointConfig
 }
 
 // Study holds the two cache-organisation populations (regular and
@@ -100,7 +116,7 @@ func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	if cfg.Constraints != nil {
 		cons = *cfg.Constraints
 	}
-	reg, hor, err := core.BuildPopulationPairCtx(ctx, core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed})
+	reg, hor, err := core.BuildPopulationPairCtx(ctx, core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, Checkpoint: cfg.Checkpoint})
 	if err != nil {
 		return nil, err
 	}
