@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,13 +13,16 @@ import (
 // Resume is set, continues an interrupted build from its saved prefix.
 //
 // The consistency argument: worker w measures chips base+w, base+w+W,
-// … and, after finishing chip i, publishes i+W as its frontier with an
-// atomic store. The checkpointer takes P = min over worker frontiers;
-// every chip below P was finished before the store that made it
-// visible (atomic store/load order), so Regular[:P]/Horizontal[:P] is
-// an immutable, fully-measured prefix — no locks, no copying, and the
-// hot loop pays one predictable nil-check plus one atomic store per
-// chip only when checkpointing is on (nothing at all when it is off).
+// … and, after finishing a batch ending at chip i, publishes i+W as
+// its frontier with an atomic store. The checkpointer takes P = min
+// over worker frontiers; every chip below P was finished before the
+// store that made it visible (atomic store/load order), so
+// Regular[:P]/Horizontal[:P] is an immutable, fully-measured prefix —
+// no locks, no copying, and the hot loop pays one frontier store plus
+// a deadline check per batch only when checkpointing is on (nothing at
+// all when it is off). Because frontiers move at batch boundaries, the
+// published prefix is always batch-aligned: a resumed build restarts
+// at a batch edge and re-measures no partially-published batch.
 type CheckpointConfig struct {
 	// Interval is the time between checkpoint attempts; zero or
 	// negative disables the checkpointer (Resume still works).
@@ -75,64 +77,59 @@ func copyMeasInto(dst, src *sram.CacheMeasurement) {
 	}
 }
 
-// checkpointer drives the periodic Sink calls for one build.
+// checkpointer drives the periodic Sink calls for one build. It has no
+// goroutine of its own: workers publish their frontier per batch, and
+// whichever worker first crosses the interval deadline CAS-elects
+// itself to assemble the checkpoint (into a reusable embedded
+// BuildCheckpoint — the prefix slices alias the live arena) and call
+// the Sink synchronously. Enabling checkpoints therefore costs exactly
+// two allocations per build (this struct and the frontier slice), and
+// checkpoints track actual progress instead of wall-clock ticks that a
+// busy CPU might never schedule.
 type checkpointer struct {
 	cfg      *CheckpointConfig
 	frontier []atomic.Int64
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	n        int
+	interval int64        // nanoseconds between publish attempts
+	deadline atomic.Int64 // unix nanos of the next publish attempt
+	electing atomic.Int32 // CAS gate: one publisher at a time
+	last     int          // frontier of the last accepted checkpoint (publisher-only)
+	buf      BuildCheckpoint
+	reg, hor []Chip
+	scope    *obs.Scope
 }
 
-// newCheckpointer starts the ticker goroutine; nil when checkpointing
-// is disabled for this build.
+// newCheckpointer returns the worker-driven checkpointer; nil when
+// checkpointing is disabled for this build.
 func newCheckpointer(ck *CheckpointConfig, base, n, workers int, pair bool, cfg *PopulationConfig,
 	geom sram.Geometry, reg, hor []Chip, scope *obs.Scope) *checkpointer {
 	if ck == nil || ck.Sink == nil || ck.Interval <= 0 {
 		return nil
 	}
-	c := &checkpointer{cfg: ck, frontier: make([]atomic.Int64, workers), stop: make(chan struct{})}
+	c := &checkpointer{
+		cfg:      ck,
+		frontier: make([]atomic.Int64, workers),
+		n:        n,
+		interval: int64(ck.Interval),
+		last:     base,
+		buf: BuildCheckpoint{
+			Seed: cfg.Seed, N: n, Pair: pair,
+			Tech: *cfg.Tech, Geom: geom,
+		},
+		reg:   reg,
+		hor:   hor,
+		scope: scope,
+	}
 	for w := range c.frontier {
 		c.frontier[w].Store(int64(base + w))
 	}
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		t := time.NewTicker(ck.Interval)
-		defer t.Stop()
-		last := base
-		for {
-			select {
-			case <-t.C:
-				p := c.min(n)
-				if p <= last {
-					continue
-				}
-				bc := &BuildCheckpoint{
-					Seed: cfg.Seed, N: n, Done: p, Pair: pair,
-					Tech: *cfg.Tech, Geom: geom,
-					Regular: reg[:p],
-				}
-				if pair {
-					bc.Horizontal = hor[:p]
-				}
-				if err := ck.Sink(bc); err != nil {
-					obs.C("core_checkpoint_sink_errors_total").Inc()
-					continue
-				}
-				last = p
-				obs.C("core_checkpoints_total").Inc()
-				scope.G("job_checkpoint_chips").Set(float64(p))
-			case <-c.stop:
-				return
-			}
-		}
-	}()
+	c.deadline.Store(time.Now().UnixNano() + c.interval)
 	return c
 }
 
 // min returns the consistent frontier: every chip below it is measured.
-func (c *checkpointer) min(n int) int {
-	p := int64(n)
+func (c *checkpointer) min() int {
+	p := int64(c.n)
 	for w := range c.frontier {
 		if f := c.frontier[w].Load(); f < p {
 			p = f
@@ -141,16 +138,52 @@ func (c *checkpointer) min(n int) int {
 	return int(p)
 }
 
-// advance publishes that worker w has finished chip i.
+// advance publishes that worker w has finished every chip of its stripe
+// up to and including i, and publishes a checkpoint if the interval
+// deadline has passed and no other worker is already publishing. The
+// off-deadline fast path is one atomic store plus one clock read and
+// one atomic load.
 func (c *checkpointer) advance(w, i, workers int) {
 	c.frontier[w].Store(int64(i + workers))
-}
-
-// close stops the ticker goroutine and waits for it.
-func (c *checkpointer) close() {
-	if c == nil {
+	now := time.Now().UnixNano()
+	if now < c.deadline.Load() {
 		return
 	}
-	close(c.stop)
-	c.wg.Wait()
+	if !c.electing.CompareAndSwap(0, 1) {
+		return
+	}
+	// Re-check under the gate: a racing worker may have just published
+	// and pushed the deadline forward.
+	if now >= c.deadline.Load() {
+		c.publish()
+		c.deadline.Store(now + c.interval)
+	}
+	c.electing.Store(0)
 }
+
+// publish assembles the current frontier prefix into the reusable
+// checkpoint and hands it to the Sink. Caller holds the electing gate;
+// successive publishers are ordered by its CAS, so buf and last are
+// effectively single-threaded.
+func (c *checkpointer) publish() {
+	p := c.min()
+	if p <= c.last {
+		return
+	}
+	c.buf.Done = p
+	c.buf.Regular = c.reg[:p]
+	if c.buf.Pair {
+		c.buf.Horizontal = c.hor[:p]
+	}
+	if err := c.cfg.Sink(&c.buf); err != nil {
+		obs.C("core_checkpoint_sink_errors_total").Inc()
+		return
+	}
+	c.last = p
+	obs.C("core_checkpoints_total").Inc()
+	c.scope.G("job_checkpoint_chips").Set(float64(p))
+}
+
+// close is the end-of-build hook; the worker-driven checkpointer has
+// nothing to stop or wait for.
+func (c *checkpointer) close() {}

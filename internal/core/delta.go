@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"yieldcache/internal/circuit"
+	"yieldcache/internal/sram"
+	"yieldcache/internal/variation"
+)
+
+// DeltaBuilder makes dense technology sweeps nearly free by sharing
+// one set of variation draws (common random numbers) across every
+// sweep point. It builds the base population pair once, retaining each
+// batch's DrawSet and leakage aggregates; BuildPair then re-evaluates
+// only the measurement parts the technology diff touches:
+//
+//   - sampling never reruns — the retained draws are reused verbatim,
+//     which is also what makes adjacent grid points directly
+//     comparable (no Monte Carlo noise between them);
+//   - a diff confined to leakage scaling (CellLeakage,
+//     PeripheryLeakFrac) rescales cached aggregates without touching
+//     draws at all;
+//   - a diff confined to the leakage exponential (SubVtSlope)
+//     recomputes leakage columns and copies the delay side, and vice
+//     versa for delay-only diffs (Alpha, CouplingFrac, DiffusionFrac,
+//     sense-margin shape);
+//   - parameters entering both (Vdd, VtNominal, DIBL) re-evaluate both
+//     halves, still skipping sampling.
+//
+// Every BuildPair result is bit-identical to a full
+// BuildPopulationPair of the same configuration at the new technology:
+// the kernel preserves draw and accumulation order, and cached
+// aggregates are the exact floats a full build computes.
+//
+// The retained draws cost about 7.7 KB per chip (N=2000 ≈ 15 MB), so
+// the builder is an opt-in for sweep-shaped workloads rather than the
+// default build path. Chips are evaluated in fixed sequential batches
+// of sram.BatchWidth, so results are independent of any worker
+// configuration; a DeltaBuilder is not safe for concurrent use.
+type DeltaBuilder struct {
+	cfg      PopulationConfig
+	baseTech circuit.Tech
+	geom     sram.Geometry
+	sampler  *variation.Sampler
+	draws    []*sram.DrawSet
+	leaks    []*sram.LeakState
+	baseReg  *Population
+	baseHor  *Population
+}
+
+// NewDeltaBuilder builds the base population pair for cfg (cfg.Workers
+// and cfg.Checkpoint are ignored; the build is sequential) and retains
+// the per-batch draws and leakage aggregates for delta re-evaluation.
+func NewDeltaBuilder(cfg PopulationConfig) *DeltaBuilder {
+	cfg.fill()
+	regModel := sram.NewModel(*cfg.Tech, false)
+	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
+	geom := regModel.Geom
+	d := &DeltaBuilder{
+		cfg:      cfg,
+		baseTech: *cfg.Tech,
+		geom:     geom,
+		sampler:  sampler,
+	}
+
+	ev := regModel.NewEvaluator(sampler.NewScratch())
+	defer ev.Release()
+	var never atomic.Bool
+	regChips := newChipArena(cfg.N, geom, &never)
+	horChips := newChipArena(cfg.N, geom, &never)
+
+	nBatches := (cfg.N + sram.BatchWidth - 1) / sram.BatchWidth
+	d.draws = make([]*sram.DrawSet, nBatches)
+	d.leaks = make([]*sram.LeakState, nBatches)
+	var ids [sram.BatchWidth]int
+	var regV, horV [sram.BatchWidth]*sram.CacheMeasurement
+	for k := 0; k < nBatches; k++ {
+		lo := k * sram.BatchWidth
+		bn := min(sram.BatchWidth, cfg.N-lo)
+		for j := 0; j < bn; j++ {
+			ids[j] = lo + j
+			regV[j] = &regChips[lo+j].Meas
+			horV[j] = &horChips[lo+j].Meas
+		}
+		ds := new(sram.DrawSet)
+		ls := new(sram.LeakState)
+		ev.Sample(ids[:bn], ds)
+		ev.EvalPair(ds, regV[:bn], horV[:bn], ls)
+		d.draws[k] = ds
+		d.leaks[k] = ls
+	}
+	d.baseReg = &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
+	d.baseHor = &Population{Chips: horChips, Model: sram.NewModel(*cfg.Tech, true), Seed: cfg.Seed}
+	return d
+}
+
+// Base returns the base-technology population pair the builder was
+// constructed from.
+func (d *DeltaBuilder) Base() (regular, horizontal *Population) {
+	return d.baseReg, d.baseHor
+}
+
+// Parts returns the measurement parts a sweep to tech would
+// re-evaluate, for callers that want to inspect sweep cost up front.
+func (d *DeltaBuilder) Parts(tech circuit.Tech) sram.TechParts {
+	return sram.DiffTech(d.baseTech, tech)
+}
+
+// BuildPair evaluates the retained chip draws under tech, reusing
+// everything the technology diff against the base does not touch. The
+// result is bit-identical to BuildPopulationPair of the builder's
+// configuration with Tech set to tech.
+func (d *DeltaBuilder) BuildPair(tech circuit.Tech) (regular, horizontal *Population) {
+	parts := sram.DiffTech(d.baseTech, tech)
+	regModel := sram.NewModel(tech, false)
+	var never atomic.Bool
+	regChips := newChipArena(d.cfg.N, d.geom, &never)
+	horChips := newChipArena(d.cfg.N, d.geom, &never)
+
+	if !parts.Any() {
+		for i := range regChips {
+			copyMeasInto(&regChips[i].Meas, &d.baseReg.Chips[i].Meas)
+			copyMeasInto(&horChips[i].Meas, &d.baseHor.Chips[i].Meas)
+		}
+	} else {
+		ev := regModel.NewEvaluator(d.sampler.NewScratch())
+		defer ev.Release()
+		var regV, horV, baseV [sram.BatchWidth]*sram.CacheMeasurement
+		for k, ds := range d.draws {
+			lo := k * sram.BatchWidth
+			bn := ds.Len()
+			for j := 0; j < bn; j++ {
+				regV[j] = &regChips[lo+j].Meas
+				horV[j] = &horChips[lo+j].Meas
+				baseV[j] = &d.baseReg.Chips[lo+j].Meas
+			}
+			ev.EvalPairDelta(ds, parts, baseV[:bn], d.leaks[k], regV[:bn], horV[:bn])
+		}
+	}
+	regular = &Population{Chips: regChips, Model: regModel, Seed: d.cfg.Seed}
+	horizontal = &Population{Chips: horChips, Model: sram.NewModel(tech, true), Seed: d.cfg.Seed}
+	return regular, horizontal
+}

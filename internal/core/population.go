@@ -116,15 +116,17 @@ func BuildPopulationPairCtx(ctx context.Context, cfg PopulationConfig) (regular,
 
 // buildPopulations is the single-pass Monte Carlo engine behind all
 // entry points. Each worker owns a variation scratch, a measurement
-// evaluator and a stripe of the chip arena, so the hot loop performs no
-// heap allocation: way/bank/path measurement storage comes from flat
-// arrays sliced up front. Cancellation is polled once per chip — an
-// atomic flag set by a watcher goroutine, so the hot loop never touches
-// the context directly. When ctx carries an obs.Scope (the yieldd
-// per-job path), spans land on the scope's tracer instead of the global
-// one and the scope's progress counter advances once per chip at the
-// same poll point, so a running job can report live chips-done counts
-// at no extra hot-loop cost beyond one atomic add.
+// evaluator and a stripe of the chip arena, evaluated through the
+// structure-of-arrays batch kernel sram.BatchWidth chips at a time, so
+// the hot loop performs no heap allocation: way/bank/path measurement
+// storage comes from flat arrays sliced up front and draw/factor
+// columns live in the evaluator. Cancellation is polled once per batch
+// — an atomic flag set by a watcher goroutine, so the hot loop never
+// touches the context directly. When ctx carries an obs.Scope (the
+// yieldd per-job path), spans land on the scope's tracer instead of the
+// global one and the scope's progress counter advances once per batch
+// at the same poll point, so a running job can report live chips-done
+// counts at no extra hot-loop cost beyond one atomic add.
 func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Population, *Population, error) {
 	cfg.fill()
 	spanName := "build_population"
@@ -203,19 +205,38 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 			ws := sp.Worker("measure_chips", start)
 			t0 := time.Now()
 			ev := regModel.NewEvaluator(sampler.NewScratch())
-			for i := start; i < cfg.N; i += workers {
+			defer ev.Release()
+			// The worker walks its stripe (start, start+W, …) in batches
+			// of up to sram.BatchWidth chips through the SoA kernel.
+			// Chip values are a pure function of (Seed, id), so the
+			// batching — like the striping — cannot change any result.
+			// Cancellation is polled and the checkpoint frontier is
+			// published at batch boundaries only, keeping the frontier
+			// batch-aligned: a checkpointed prefix never splits a batch.
+			var ids [sram.BatchWidth]int
+			var regV, horV [sram.BatchWidth]*sram.CacheMeasurement
+			for i := start; i < cfg.N; {
 				if cancelled.Load() {
 					break
 				}
-				chip := ev.Scratch().Chip(i)
-				if pair {
-					ev.MeasurePair(&chip, &regChips[i].Meas, &horChips[i].Meas)
-				} else {
-					ev.Measure(&chip, &regChips[i].Meas)
+				bn, last := 0, i
+				for ; bn < sram.BatchWidth && i < cfg.N; i += workers {
+					ids[bn] = i
+					regV[bn] = &regChips[i].Meas
+					if pair {
+						horV[bn] = &horChips[i].Meas
+					}
+					last = i
+					bn++
 				}
-				scope.AddProgress(1)
+				if pair {
+					ev.MeasurePairBatch(ids[:bn], regV[:bn], horV[:bn])
+				} else {
+					ev.MeasureBatch(ids[:bn], regV[:bn])
+				}
+				scope.AddProgress(int64(bn))
 				if ckp != nil {
-					ckp.advance(w, i, workers)
+					ckp.advance(w, last, workers)
 				}
 			}
 			workerSec.Observe(time.Since(t0).Seconds())

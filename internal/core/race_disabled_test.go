@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its allocations make allocation-budget tests meaningless.
+const raceEnabled = false

@@ -119,24 +119,38 @@ func Prepare(dst *CacheMeasurement, g Geometry) {
 }
 
 // Evaluator is the single-pass measurement engine: one variation
-// scratch plus flattened band-draw buffers, reused across chips so that
-// a warm Measure does zero heap allocations. Evaluators are not safe
-// for concurrent use; the population builder gives each worker its own.
+// scratch plus the reusable draw and derived-column storage of the
+// batched structure-of-arrays kernel (kernel.go), so that a warm
+// Measure or MeasureBatch does zero heap allocations. Evaluators are
+// not safe for concurrent use; the population builder gives each worker
+// its own.
 type Evaluator struct {
-	m         *Model
-	sc        *variation.Scratch
+	m        *Model
+	sc       *variation.Scratch
+	ks       *kernelScratch       // pooled draw + column buffers (Release returns them)
+	stageNom [][NumStages]float64 // nominal stage delays per (bank, path)
+
+	// Scalar reference-path buffers, allocated lazily by measureRef
+	// (the batch-vs-scalar parity tests are its only caller).
 	bands     []variation.Draw // per (bank, path slot), shared by all ways
 	bankBands []variation.Draw // per bank aggregate, shared by all ways
 }
 
 // NewEvaluator returns an evaluator drawing from sc. The scratch's spec
 // and correlation factors must match the population being measured.
+// Kernel buffers come from a pool; call Release when the evaluator is
+// done to recycle them.
 func (m *Model) NewEvaluator(sc *variation.Scratch) *Evaluator {
+	ks := kernelPool.Get().(*kernelScratch)
+	if ks.stageNom == nil || ks.stageGeom != m.Geom {
+		ks.stageNom = stageNominals(m.Geom)
+		ks.stageGeom = m.Geom
+	}
 	return &Evaluator{
-		m:         m,
-		sc:        sc,
-		bands:     make([]variation.Draw, m.Geom.BanksPerWay*m.Geom.PathsPerBank),
-		bankBands: make([]variation.Draw, m.Geom.BanksPerWay),
+		m:        m,
+		sc:       sc,
+		ks:       ks,
+		stageNom: ks.stageNom,
 	}
 }
 
@@ -147,9 +161,18 @@ func (e *Evaluator) Scratch() *variation.Scratch { return e.sc }
 // Measure evaluates the model's cache organisation on the chip
 // described by the root draw, into dst. Steady-state calls are
 // allocation-free once dst has been through one measurement (or
-// Prepare) at this geometry.
+// Prepare) at this geometry. It runs the batched kernel at width 1;
+// the result is bit-identical to the scalar reference path.
 func (e *Evaluator) Measure(chip *variation.Draw, dst *CacheMeasurement) {
-	e.measure(chip, dst, e.m.HYAPD)
+	ds := &e.ks.ds
+	ds.IDs = ds.IDs[:0]
+	ds.Chips.Resize(1)
+	ds.Chips.SetLane(0, chip)
+	e.sampleRegions(ds)
+	Prepare(dst, e.m.Geom)
+	e.ks.one[0] = dst
+	e.eval(ds, e.ks.one[:], e.m.HYAPD, true, true, nil)
+	e.ks.one[0] = nil
 }
 
 // MeasurePair evaluates both cache organisations from one set of
@@ -160,12 +183,27 @@ func (e *Evaluator) Measure(chip *variation.Draw, dst *CacheMeasurement) {
 // the paper's "same process variation parameters" guarantee holds by
 // construction instead of by re-sampling.
 func (e *Evaluator) MeasurePair(chip *variation.Draw, reg, hor *CacheMeasurement) {
-	e.measure(chip, reg, false)
+	ds := &e.ks.ds
+	ds.IDs = ds.IDs[:0]
+	ds.Chips.Resize(1)
+	ds.Chips.SetLane(0, chip)
+	e.sampleRegions(ds)
+	Prepare(reg, e.m.Geom)
+	e.ks.one[0] = reg
+	e.eval(ds, e.ks.one[:], false, true, true, nil)
+	e.ks.one[0] = nil
 	deriveHYAPD(reg, hor, e.m.Geom)
 }
 
-func (e *Evaluator) measure(chip *variation.Draw, dst *CacheMeasurement, hyapd bool) {
+// measureRef is the scalar reference implementation the batched kernel
+// must match bit for bit; it is retained (and exercised by the parity
+// tests) as the executable specification of the measurement arithmetic.
+func (e *Evaluator) measureRef(chip *variation.Draw, dst *CacheMeasurement, hyapd bool) {
 	m := e.m
+	if e.bands == nil {
+		e.bands = make([]variation.Draw, m.Geom.BanksPerWay*m.Geom.PathsPerBank)
+		e.bankBands = make([]variation.Draw, m.Geom.BanksPerWay)
+	}
 	Prepare(dst, m.Geom)
 	// Horizontal bands: one per (bank, path slot), common to all ways.
 	// Each bank also has an aggregate band node whose leakage state is
@@ -352,6 +390,7 @@ func deriveHYAPD(reg, hor *CacheMeasurement, g Geometry) {
 // state across chips.
 func (m *Model) Measure(chip *variation.Node) CacheMeasurement {
 	e := m.NewEvaluator(chip.NewScratch())
+	defer e.Release()
 	d := chip.AsDraw()
 	var cm CacheMeasurement
 	e.Measure(&d, &cm)

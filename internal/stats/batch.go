@@ -1,0 +1,38 @@
+package stats
+
+// Batched draw generation for the structure-of-arrays measurement
+// kernel. The Monte Carlo variation model draws one short stream per
+// region node (a handful of truncated normals), and the O(1) seed-jump
+// Reseed makes repositioning the generator between nodes free — so the
+// natural batch primitive is "for each seed, reseed and draw one value
+// per column". Layouts are column-major: cols[k][l] is column k of lane
+// l, matching variation.Batch, so the per-column sigma/bound lookups
+// hoist out of the lane loop and the inner loop is straight-line code
+// over flat float64 slices.
+
+// TruncNormalColumns draws, for each lane l, one truncated normal per
+// column: the generator is repositioned to seeds[l], then cols[k][l] is
+// overwritten, in ascending k, with TruncNormal(cols[k][l], sigma[k],
+// bound[k]) — the value already in the column is the mean of the draw.
+// The per-lane draw sequence is bit-identical to Reseed(seeds[l])
+// followed by k sequential TruncNormal calls, so a batched caller
+// reproduces the scalar sampling stream exactly. len(cols), len(sigma)
+// and len(bound) must agree; every column must have at least len(seeds)
+// entries.
+func (g *RNG) TruncNormalColumns(seeds []int64, cols [][]float64, sigma, bound []float64) {
+	for l, seed := range seeds {
+		g.Reseed(seed)
+		for k := range cols {
+			cols[k][l] = g.TruncNormal(cols[k][l], sigma[k], bound[k])
+		}
+	}
+}
+
+// MixSeeds fills dst[l] with MixSeed(parents[l], label) for every lane.
+// It is the batched form of the child-seed derivation used when a whole
+// column of sibling regions is drawn at once.
+func MixSeeds(dst, parents []int64, label int64) {
+	for l, p := range parents {
+		dst[l] = MixSeed(p, label)
+	}
+}

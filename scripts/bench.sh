@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Performance snapshot: runs the headline benchmarks with -benchmem and
 # writes a machine-readable summary (ns/op, B/op, allocs/op, and chips/s
-# where the benchmark reports it) to $BENCH_OUT (default BENCH_pr3.json).
+# where the benchmark reports it) to $BENCH_OUT (default BENCH_pr8.json).
+# After writing it, prints a per-benchmark delta table against the most
+# recent other committed BENCH_*.json so regressions and wins are
+# visible at a glance.
 #
 # Usage: [BENCH_OUT=FILE.json] scripts/bench.sh [benchtime] [micro-benchtime]
 #   benchtime defaults to 3x; pass e.g. 10x or 2s for steadier numbers.
@@ -13,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3x}"
 MICROTIME="${2:-1s}"
-OUT="${BENCH_OUT:-BENCH_pr3.json}"
+OUT="${BENCH_OUT:-BENCH_pr8.json}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -53,3 +56,59 @@ END { print "\n}" }
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+# Delta table: compare against the most recently modified BENCH_*.json
+# other than the one just written. Positive ns/op deltas are slower,
+# positive chips/s deltas are faster.
+PREV=$(ls -t BENCH_*.json 2>/dev/null | grep -vx "$OUT" | head -n 1 || true)
+if [ -n "$PREV" ]; then
+    echo ""
+    echo "== delta vs $PREV =="
+    awk -v prevfile="$PREV" '
+    function parse(file, store,    line, name, m, kv) {
+        while ((getline line < file) > 0) {
+            if (!match(line, /"Benchmark[^"]+"/)) continue
+            name = substr(line, RSTART + 1, RLENGTH - 2)
+            line = substr(line, RSTART + RLENGTH)
+            while (match(line, /"[a-z_]+": *[0-9.]+/)) {
+                m = substr(line, RSTART, RLENGTH)
+                split(m, kv, /": */)
+                gsub(/"/, "", kv[1])
+                store[name "." kv[1]] = kv[2]
+                line = substr(line, RSTART + RLENGTH)
+            }
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(prevfile, prev)
+        parse(ARGV[1], cur)
+        printf "%-42s %14s %14s %8s\n", "benchmark", "prev", "now", "delta"
+        for (key in cur) {
+            if (key !~ /\.ns_per_op$/) continue
+            name = key; sub(/\.ns_per_op$/, "", name)
+            if (names == "") names = name; else names = names "\n" name
+        }
+        nn = split(names, order, "\n")
+        for (i = 1; i <= nn; i++) {
+            for (j = i + 1; j <= nn; j++)
+                if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+        }
+        for (i = 1; i <= nn; i++) {
+            name = order[i]
+            row(name, "ns_per_op", "ns/op")
+            row(name, "allocs_per_op", "allocs")
+            row(name, "chips_per_sec", "chips/s")
+        }
+    }
+    function row(name, field, unit,    p, c, d) {
+        c = cur[name "." field]
+        if (c == "") return
+        p = prev[name "." field]
+        if (p == "") { printf "%-42s %14s %14s %8s\n", name " " unit, "-", c, "new"; return }
+        if (p + 0 == 0) d = "n/a"
+        else d = sprintf("%+.1f%%", (c - p) / p * 100)
+        printf "%-42s %14s %14s %8s\n", name " " unit, p, c, d
+    }
+    ' "$OUT"
+fi
