@@ -11,6 +11,7 @@ package yieldcache
 // hours) and the per-iteration work is the experiment's analysis step.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -397,4 +398,58 @@ func BenchmarkCPUSimDetailed(b *testing.B) {
 		det = cpu.RunDetailed(workload.NewGenerator(p, 1), 100_000, cfg)
 	}
 	b.ReportMetric(det.CPI/fast.CPI, "detailed/fast-CPI")
+}
+
+// sweepBenchSpec is the grid shared by the delta-reuse and
+// full-rebuild sweep benchmarks: a 3×2 vdd × vt_nominal technology
+// grid, 200 chips per config. Six configs, one full build, five delta
+// builds.
+func sweepBenchSpec() SweepSpec {
+	return SweepSpec{
+		N: 200, Seed: 2006,
+		Axes: []TechAxis{
+			{Param: "vdd", Values: []float64{1.10, 1.08, 1.05}},
+			{Param: "vt_nominal", Values: []float64{0.30, 0.32}},
+		},
+	}
+}
+
+// BenchmarkSweepDelta runs the grid through the sweep planner: the
+// base config is built once and every neighbouring technology is a
+// delta rebuild over the retained draws. Compare chips/s against
+// BenchmarkSweepFullRebuild to see what the reuse buys.
+func BenchmarkSweepDelta(b *testing.B) {
+	spec := sweepBenchSpec()
+	var res *SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunSweepCtx(context.Background(), spec, SweepOptions{Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := res.Stats
+	b.ReportMetric(float64(st.Configs*spec.N*b.N)/b.Elapsed().Seconds(), "chips/s")
+	b.ReportMetric(float64(st.DeltaBuilds), "delta-builds")
+}
+
+// BenchmarkSweepFullRebuild evaluates the same grid the naive way: an
+// independent full population build per config, no draw reuse. This is
+// the wall-clock baseline the sweep service's delta planning is judged
+// against.
+func BenchmarkSweepFullRebuild(b *testing.B) {
+	spec := sweepBenchSpec()
+	plan, err := PlanSweep(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range plan.Configs {
+			tech := cfg.Tech
+			core.BuildPopulation(core.PopulationConfig{
+				N: spec.N, Seed: spec.Seed, Tech: &tech, Workers: 1,
+			})
+		}
+	}
+	b.ReportMetric(float64(len(plan.Configs)*spec.N*b.N)/b.Elapsed().Seconds(), "chips/s")
 }

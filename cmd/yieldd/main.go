@@ -1,11 +1,16 @@
 // Command yieldd serves the yield study as a long-running HTTP JSON
 // service: clients POST study parameters (seed, chips, constraints,
 // scheme set) and get back loss breakdowns, constraint totals and
-// scatter data. Identical requests share one Monte Carlo build
-// (singleflight) and later ones are answered from the result cache;
-// when the bounded build queue fills, requests are shed with 429 and a
-// Retry-After estimate. Every admitted build gets its own telemetry
-// scope: live state, progress and ETA at /v1/jobs/{id}, a per-job
+// scatter data. POST /v1/sweep explores whole design-space grids
+// (technology axes × cache geometries × constraint sets) in one job,
+// reusing correlated Monte Carlo draws across neighbouring configs and
+// reducing the results to Pareto frontiers; -max-sweep-configs bounds
+// the grid a single request may resolve to. Identical requests share
+// one Monte Carlo build (singleflight) and later ones are answered
+// from the result cache; when the bounded build queue fills, requests
+// are shed with 429 and a Retry-After estimate. Every admitted build
+// gets its own telemetry scope: live state, progress and ETA at
+// /v1/jobs/{id}, a per-job
 // Chrome trace at /v1/jobs/{id}/trace, live telemetry streamed as
 // Server-Sent Events at /v1/jobs/{id}/events and /v1/events, and
 // structured logs correlated by job id. A background flight recorder
@@ -27,9 +32,9 @@
 // Usage:
 //
 //	yieldd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-chips N]
-//	       [-timeout D] [-max-timeout D] [-drain D] [-job-history N]
-//	       [-stream-interval D] [-event-buffer N] [-flight-interval D]
-//	       [-flight-samples N] [-log-format text|json]
+//	       [-max-sweep-configs N] [-timeout D] [-max-timeout D] [-drain D]
+//	       [-job-history N] [-stream-interval D] [-event-buffer N]
+//	       [-flight-interval D] [-flight-samples N] [-log-format text|json]
 //	       [-store none|mem|file] [-data-dir DIR] [-checkpoint-interval D]
 //
 // On SIGINT/SIGTERM the server stops admitting builds, ends live event
@@ -60,6 +65,7 @@ func main() {
 	queue := flag.Int("queue", 8, "builds allowed to queue beyond the running ones before shedding with 429")
 	cache := flag.Int("cache", 128, "result-cache capacity in studies (negative disables caching)")
 	maxChips := flag.Int("max-chips", 20000, "largest accepted Monte Carlo population")
+	maxSweepConfigs := flag.Int("max-sweep-configs", 256, "largest config grid a single /v1/sweep request may resolve to")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request build timeout (when the request has no timeout_ms)")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request timeouts")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight builds")
@@ -122,18 +128,19 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		MaxChips:       *maxChips,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		JobHistory:     *jobHistory,
-		StreamInterval: *streamInterval,
-		EventBuffer:    *eventBuffer,
-		FlightInterval: *flightInterval,
-		FlightSamples:  *flightSamples,
-		Logger:         logger,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		MaxChips:        *maxChips,
+		MaxSweepConfigs: *maxSweepConfigs,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		JobHistory:      *jobHistory,
+		StreamInterval:  *streamInterval,
+		EventBuffer:     *eventBuffer,
+		FlightInterval:  *flightInterval,
+		FlightSamples:   *flightSamples,
+		Logger:          logger,
 
 		Store:              st,
 		CheckpointInterval: *checkpointInterval,

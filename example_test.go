@@ -78,6 +78,34 @@ func ExampleNewStudyCtx() {
 	// context canceled
 }
 
+// A minimal design-space sweep: one technology axis, three grid
+// points. The planner builds the first (origin) config from scratch
+// and delta-evaluates the neighbours over the same retained draws —
+// every config bit-identical to a standalone full build — then reduces
+// the evaluations to one Pareto frontier per scheme.
+func ExampleRunSweepCtx() {
+	res, err := yieldcache.RunSweepCtx(context.Background(), yieldcache.SweepSpec{
+		N: 200, Seed: 2006,
+		Axes: []yieldcache.TechAxis{
+			{Param: "vdd", Values: []float64{1.1, 1.08, 1.05}},
+		},
+	}, yieldcache.SweepOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("configs: %d\n", res.Stats.Configs)
+	fmt.Printf("full builds: %d, delta builds: %d\n",
+		res.Stats.FullBuilds, res.Stats.DeltaBuilds)
+	fmt.Printf("first config: %s\n", res.Evals[0].Config.Label())
+	fmt.Printf("hybrid frontier non-empty: %v\n", len(res.Frontiers["Hybrid"]) > 0)
+	// Output:
+	// configs: 3
+	// full builds: 1, delta builds: 2
+	// first config: vdd=1.1 nominal
+	// hybrid frontier non-empty: true
+}
+
 // The cost model prices degraded parts on a performance-indexed curve.
 func ExampleCostModel() {
 	m := yieldcache.DefaultCostModel()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"yieldcache/internal/circuit"
@@ -52,8 +53,17 @@ type DeltaBuilder struct {
 // and cfg.Checkpoint are ignored; the build is sequential) and retains
 // the per-batch draws and leakage aggregates for delta re-evaluation.
 func NewDeltaBuilder(cfg PopulationConfig) *DeltaBuilder {
+	d, _ := NewDeltaBuilderCtx(context.Background(), cfg)
+	return d
+}
+
+// NewDeltaBuilderCtx is NewDeltaBuilder with cancellation: the base
+// build polls ctx once per sram.BatchWidth-chip batch and returns
+// ctx.Err() early when it fires, so a sweep job can abandon a large
+// base build the moment its request is cancelled.
+func NewDeltaBuilderCtx(ctx context.Context, cfg PopulationConfig) (*DeltaBuilder, error) {
 	cfg.fill()
-	regModel := sram.NewModel(*cfg.Tech, false)
+	regModel := newModelWithGeom(*cfg.Tech, false, cfg.Geom)
 	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
 	geom := regModel.Geom
 	d := &DeltaBuilder{
@@ -63,11 +73,13 @@ func NewDeltaBuilder(cfg PopulationConfig) *DeltaBuilder {
 		sampler:  sampler,
 	}
 
+	cancelled, stopWatch := watchCancel(ctx)
+	defer stopWatch()
+
 	ev := regModel.NewEvaluator(sampler.NewScratch())
 	defer ev.Release()
-	var never atomic.Bool
-	regChips := newChipArena(cfg.N, geom, &never)
-	horChips := newChipArena(cfg.N, geom, &never)
+	regChips := newChipArena(cfg.N, geom, cancelled)
+	horChips := newChipArena(cfg.N, geom, cancelled)
 
 	nBatches := (cfg.N + sram.BatchWidth - 1) / sram.BatchWidth
 	d.draws = make([]*sram.DrawSet, nBatches)
@@ -75,6 +87,9 @@ func NewDeltaBuilder(cfg PopulationConfig) *DeltaBuilder {
 	var ids [sram.BatchWidth]int
 	var regV, horV [sram.BatchWidth]*sram.CacheMeasurement
 	for k := 0; k < nBatches; k++ {
+		if cancelled.Load() {
+			return nil, ctx.Err()
+		}
 		lo := k * sram.BatchWidth
 		bn := min(sram.BatchWidth, cfg.N-lo)
 		for j := 0; j < bn; j++ {
@@ -89,10 +104,36 @@ func NewDeltaBuilder(cfg PopulationConfig) *DeltaBuilder {
 		d.draws[k] = ds
 		d.leaks[k] = ls
 	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
 	d.baseReg = &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
-	d.baseHor = &Population{Chips: horChips, Model: sram.NewModel(*cfg.Tech, true), Seed: cfg.Seed}
-	return d
+	d.baseHor = &Population{Chips: horChips, Model: newModelWithGeom(*cfg.Tech, true, cfg.Geom), Seed: cfg.Seed}
+	return d, nil
 }
+
+// watchCancel translates ctx cancellation into an atomic flag the batch
+// loops can poll without touching the context. The returned stop func
+// must be called to release the watcher goroutine; with no Done channel
+// the flag is a shared never-set atomic and stop is a no-op.
+func watchCancel(ctx context.Context) (*atomic.Bool, func()) {
+	done := ctx.Done()
+	if done == nil {
+		return &neverCancelled, func() {}
+	}
+	var flag atomic.Bool
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	return &flag, func() { close(stop) }
+}
+
+var neverCancelled atomic.Bool
 
 // Base returns the base-technology population pair the builder was
 // constructed from.
@@ -111,14 +152,26 @@ func (d *DeltaBuilder) Parts(tech circuit.Tech) sram.TechParts {
 // result is bit-identical to BuildPopulationPair of the builder's
 // configuration with Tech set to tech.
 func (d *DeltaBuilder) BuildPair(tech circuit.Tech) (regular, horizontal *Population) {
+	regular, horizontal, _ = d.BuildPairCtx(context.Background(), tech)
+	return regular, horizontal
+}
+
+// BuildPairCtx is BuildPair with cancellation, polled once per batch
+// like NewDeltaBuilderCtx. On cancellation it returns ctx.Err() and nil
+// populations; the builder itself stays valid for further calls.
+func (d *DeltaBuilder) BuildPairCtx(ctx context.Context, tech circuit.Tech) (regular, horizontal *Population, err error) {
 	parts := sram.DiffTech(d.baseTech, tech)
-	regModel := sram.NewModel(tech, false)
-	var never atomic.Bool
-	regChips := newChipArena(d.cfg.N, d.geom, &never)
-	horChips := newChipArena(d.cfg.N, d.geom, &never)
+	regModel := newModelWithGeom(tech, false, &d.geom)
+	cancelled, stopWatch := watchCancel(ctx)
+	defer stopWatch()
+	regChips := newChipArena(d.cfg.N, d.geom, cancelled)
+	horChips := newChipArena(d.cfg.N, d.geom, cancelled)
 
 	if !parts.Any() {
 		for i := range regChips {
+			if i&4095 == 0 && cancelled.Load() {
+				return nil, nil, ctx.Err()
+			}
 			copyMeasInto(&regChips[i].Meas, &d.baseReg.Chips[i].Meas)
 			copyMeasInto(&horChips[i].Meas, &d.baseHor.Chips[i].Meas)
 		}
@@ -127,6 +180,9 @@ func (d *DeltaBuilder) BuildPair(tech circuit.Tech) (regular, horizontal *Popula
 		defer ev.Release()
 		var regV, horV, baseV [sram.BatchWidth]*sram.CacheMeasurement
 		for k, ds := range d.draws {
+			if cancelled.Load() {
+				return nil, nil, ctx.Err()
+			}
 			lo := k * sram.BatchWidth
 			bn := ds.Len()
 			for j := 0; j < bn; j++ {
@@ -137,7 +193,10 @@ func (d *DeltaBuilder) BuildPair(tech circuit.Tech) (regular, horizontal *Popula
 			ev.EvalPairDelta(ds, parts, baseV[:bn], d.leaks[k], regV[:bn], horV[:bn])
 		}
 	}
+	if cancelled.Load() {
+		return nil, nil, ctx.Err()
+	}
 	regular = &Population{Chips: regChips, Model: regModel, Seed: d.cfg.Seed}
-	horizontal = &Population{Chips: horChips, Model: sram.NewModel(tech, true), Seed: d.cfg.Seed}
-	return regular, horizontal
+	horizontal = &Population{Chips: horChips, Model: newModelWithGeom(tech, true, &d.geom), Seed: d.cfg.Seed}
+	return regular, horizontal, nil
 }

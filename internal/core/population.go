@@ -48,6 +48,11 @@ type PopulationConfig struct {
 	Tech    *circuit.Tech
 	Spec    *variation.Spec
 	Fact    *variation.Factors
+	// Geom overrides the cache geometry; nil (the default) keeps the
+	// paper's 16 KB organisation (sram.Paper16KB). Ways must stay within
+	// the 2×2 variation mesh (1..4) — geometry sweeps are validated by
+	// PlanSweep; direct callers own that invariant.
+	Geom *sram.Geometry
 	// Checkpoint enables periodic build checkpointing and crash resume;
 	// nil (the default) adds nothing to the hot loop.
 	Checkpoint *CheckpointConfig
@@ -141,7 +146,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	defer sp.End()
 	begin := time.Now()
 
-	regModel := sram.NewModel(*cfg.Tech, cfg.HYAPD && !pair)
+	regModel := newModelWithGeom(*cfg.Tech, cfg.HYAPD && !pair, cfg.Geom)
 	sampler := variation.NewSampler(*cfg.Spec, *cfg.Fact, cfg.Seed)
 	geom := regModel.Geom
 
@@ -166,7 +171,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	var horChips []Chip
 	var horModel *sram.Model
 	if pair {
-		horModel = sram.NewModel(*cfg.Tech, true)
+		horModel = newModelWithGeom(*cfg.Tech, true, cfg.Geom)
 		horChips = newChipArena(cfg.N, geom, &cancelled)
 	}
 	if cancelled.Load() {
@@ -268,6 +273,17 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 		return reg, nil, nil
 	}
 	return reg, &Population{Chips: horChips, Model: horModel, Seed: cfg.Seed}, nil
+}
+
+// newModelWithGeom builds an sram.Model and, when g is non-nil,
+// replaces the default paper geometry. The measurement kernel is fully
+// geometry-generic; only the variation mesh caps Ways at 4.
+func newModelWithGeom(tech circuit.Tech, hyapd bool, g *sram.Geometry) *sram.Model {
+	m := sram.NewModel(tech, hyapd)
+	if g != nil {
+		m.Geom = *g
+	}
+	return m
 }
 
 // newChipArena allocates a chip slice whose per-chip measurement slices

@@ -108,3 +108,24 @@ func (m CostModel) Evaluate(scheme string, bins []Bin) (Result, error) {
 	}
 	return r, nil
 }
+
+// FromYields generalises the Table 6 pricing to any sweep point
+// described only by its yields: chips the base test passes sell at
+// full price; the extra fraction a scheme saves (schemeYield −
+// baseYield) sells as a degraded bin at degradedCPIPct CPI loss. This
+// two-bin shape is the economics proxy design-space sweeps use — it
+// needs no per-chip CPI simulation, yet preserves the paper's
+// structure (saved chips are worth less, but far more than zero).
+func (m CostModel) FromYields(scheme string, baseYield, schemeYield, degradedCPIPct float64) (Result, error) {
+	if baseYield < 0 || baseYield > 1 {
+		return Result{}, fmt.Errorf("econ: base yield %v outside [0, 1]", baseYield)
+	}
+	if schemeYield < baseYield-1e-9 {
+		return Result{}, fmt.Errorf("econ: %s yield %v below base yield %v", scheme, schemeYield, baseYield)
+	}
+	bins := []Bin{{Fraction: baseYield}}
+	if saved := schemeYield - baseYield; saved > 0 {
+		bins = append(bins, Bin{Fraction: saved, CPILossPct: degradedCPIPct})
+	}
+	return m.Evaluate(scheme, bins)
+}

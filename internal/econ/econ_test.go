@@ -122,3 +122,38 @@ func TestEvaluateMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// FromYields is the sweep pricing path: base chips at full price, the
+// scheme-saved slice degraded. Check the two-bin decomposition against
+// a hand-priced expectation and the error paths.
+func TestFromYields(t *testing.T) {
+	m := Default45nm()
+	r, err := m.FromYields("YAPD", 0.80, 0.95, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gross := float64(m.DiesPerWafer) * m.FunctionalYield
+	want := gross*0.80*m.UnitPrice(0) + gross*0.15*m.UnitPrice(10)
+	if r.RevenuePerWafer != want {
+		t.Errorf("revenue = %v, want %v", r.RevenuePerWafer, want)
+	}
+	if r.SellableFraction != 0.95 {
+		t.Errorf("sellable fraction = %v, want 0.95", r.SellableFraction)
+	}
+
+	// Equal yields collapse to a single full-price bin.
+	same, err := m.FromYields("Base", 0.80, 0.80, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.RevenuePerWafer != gross*0.80*m.UnitPrice(0) {
+		t.Errorf("base-only revenue = %v", same.RevenuePerWafer)
+	}
+
+	if _, err := m.FromYields("bad", -0.1, 0.5, 0); err == nil {
+		t.Error("negative base yield accepted")
+	}
+	if _, err := m.FromYields("bad", 0.9, 0.5, 0); err == nil {
+		t.Error("scheme yield below base accepted")
+	}
+}

@@ -35,6 +35,10 @@ const (
 	// EventJobCheckpoint is a throttled record of a build checkpoint
 	// reaching the store, carrying the checkpointed chip frontier.
 	EventJobCheckpoint EventType = "job_checkpoint"
+	// EventSweepConfig fires when a design-space sweep finishes one
+	// config: Key carries the config label ("vdd=1.08 nominal") and
+	// Done/Total count configs, not chips.
+	EventSweepConfig EventType = "sweep_config"
 	// EventCacheHit fires when a request is answered from the result
 	// cache; EventCacheEvict when an entry ages out.
 	EventCacheHit   EventType = "cache_hit"
@@ -49,7 +53,7 @@ const (
 var allEventTypes = map[EventType]bool{
 	EventJobAdmitted: true, EventJobStarted: true, EventJobProgress: true,
 	EventJobPhase: true, EventJobCompleted: true, EventJobFailed: true,
-	EventJobResumed: true, EventJobCheckpoint: true,
+	EventJobResumed: true, EventJobCheckpoint: true, EventSweepConfig: true,
 	EventCacheHit: true, EventCacheEvict: true,
 	EventQueuePressure: true, EventShed: true,
 }

@@ -135,8 +135,8 @@ func TestEventTypeValid(t *testing.T) {
 	if EventType("bogus").Valid() {
 		t.Error(`"bogus" reported valid`)
 	}
-	if n := len(EventTypes()); n != 12 {
-		t.Errorf("EventTypes() has %d entries, want 12", n)
+	if n := len(EventTypes()); n != 13 {
+		t.Errorf("EventTypes() has %d entries, want 13", n)
 	}
 }
 

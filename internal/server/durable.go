@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"yieldcache"
@@ -88,19 +89,35 @@ func (s *Server) persistOutcome(j *job, p params, c *call, key string, cached bo
 // checkpointSink returns the build-checkpoint callback for one job:
 // encode, persist with retry, and announce on the event bus. A sink
 // error skips that checkpoint; the build carries on.
+//
+// The sink self-clocks against the storage it writes to: a checkpoint
+// snapshot grows with the build (retained draws are O(chips)), and on
+// slow disks persisting one can take far longer than the configured
+// interval. Each persisted checkpoint therefore postpones the next by
+// its own cost, so slow storage degrades checkpoint granularity —
+// bounded at a ~50% duty cycle of the publishing worker — instead of
+// starving the build itself.
 func (s *Server) checkpointSink(j *job) func(*yieldcache.BuildCheckpoint) error {
 	jobID := j.id
+	var wrote time.Time    // when the last persisted checkpoint finished
+	var cost time.Duration // how long it took to persist
 	return func(bc *yieldcache.BuildCheckpoint) error {
+		if !wrote.IsZero() && time.Since(wrote) < cost {
+			return nil // still paying for the last write: skip this offer
+		}
 		var buf bytes.Buffer
 		if err := bc.Encode(&buf); err != nil {
 			return err
 		}
+		t0 := time.Now()
 		if err := store.Do("put_checkpoint", func() error {
 			return s.store.PutCheckpoint(jobID, bc.Done, buf.Bytes())
 		}); err != nil {
 			s.log.Warn("checkpoint persist failed", "job", jobID, "chips", bc.Done, "error", err)
 			return err
 		}
+		wrote = time.Now()
+		cost = wrote.Sub(t0)
 		s.bus.Publish(obs.Event{Type: obs.EventJobCheckpoint, Job: jobID,
 			Done: int64(bc.Done), Total: int64(bc.N)})
 		return nil
@@ -141,7 +158,7 @@ func (s *Server) idemLookupLocked(w http.ResponseWriter, r *http.Request, idemKe
 			"Idempotency-Key was already used with a different request body")
 		return true
 	}
-	if res, hit := s.cache[rec.StudyKey]; hit {
+	if res, hit := s.cache[rec.StudyKey].(*StudyResponse); hit {
 		s.mu.Unlock()
 		obs.C("server_idempotent_replays_total").Inc()
 		if j, found := s.jobsReg.lookupKey(rec.StudyKey); found {
@@ -221,12 +238,23 @@ func (s *Server) recoverFromStore() {
 			start = len(rec.Results) - s.cfg.CacheEntries
 		}
 		for _, res := range rec.Results[start:] {
-			var sr StudyResponse
-			if err := json.Unmarshal(res.Body, &sr); err != nil {
-				s.log.Warn("recovered result unreadable; dropped", "key", res.Key, "error", err)
-				continue
+			var body any
+			if strings.HasPrefix(res.Key, sweepKeyPrefix) {
+				var sw SweepResponse
+				if err := json.Unmarshal(res.Body, &sw); err != nil {
+					s.log.Warn("recovered result unreadable; dropped", "key", res.Key, "error", err)
+					continue
+				}
+				body = &sw
+			} else {
+				var sr StudyResponse
+				if err := json.Unmarshal(res.Body, &sr); err != nil {
+					s.log.Warn("recovered result unreadable; dropped", "key", res.Key, "error", err)
+					continue
+				}
+				body = &sr
 			}
-			s.cache[res.Key] = &sr
+			s.cache[res.Key] = body
 			s.order = append(s.order, res.Key)
 		}
 	}
@@ -254,7 +282,11 @@ func (s *Server) recoverFromStore() {
 		case jobDone, jobFailed:
 			s.jobsReg.restoreFinished(jr, s.log)
 		case jobQueued, jobRunning:
-			s.resumeJob(jr)
+			if jr.Kind == jobKindSweep {
+				s.resumeSweepJob(jr)
+			} else {
+				s.resumeJob(jr)
+			}
 			resumed++
 		}
 	}
@@ -314,6 +346,7 @@ func (r *jobRegistry) restoreFinished(rec store.JobRecord, base *slog.Logger) {
 	}
 	j := &job{
 		id: rec.ID, seq: rec.Seq, key: rec.Key,
+		kind: rec.Kind, spec: rec.Spec,
 		scope: obs.NewScope(rec.ID, base),
 		seed:  rec.Seed, chips: rec.Chips,
 		constraints: rec.ConsName, schemes: rec.Schemes,
@@ -348,6 +381,7 @@ func (r *jobRegistry) restoreResumed(rec store.JobRecord, base *slog.Logger) *jo
 	}
 	j := &job{
 		id: rec.ID, seq: rec.Seq, key: rec.Key,
+		kind: rec.Kind, spec: rec.Spec,
 		scope: obs.NewScope(rec.ID, base),
 		seed:  rec.Seed, chips: rec.Chips,
 		constraints: rec.ConsName, schemes: rec.Schemes,

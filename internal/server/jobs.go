@@ -22,14 +22,23 @@ const (
 	jobFailed  = "failed"  // finished with an error (timeout, cancel, …)
 )
 
+// jobKindSweep marks a design-space sweep job; the empty kind is a
+// study build. The value is persisted in store.JobRecord.Kind.
+const jobKindSweep = "sweep"
+
 // job is one admitted build and its telemetry scope. The scope's
 // progress counters are updated lock-free by the build workers; every
 // other mutable field is guarded by the owning jobRegistry's mutex.
 type job struct {
 	id    string
 	seq   int64
-	key   string // canonical study key; ties cache hits back to the job
+	key   string // canonical study/sweep key; ties cache hits back to the job
 	scope *obs.Scope
+
+	// kind is "" for study builds, "sweep" for design-space sweeps; spec
+	// holds a sweep's canonical resolved request JSON for persistence.
+	kind string
+	spec []byte
 
 	// Echoed request parameters, immutable after creation.
 	seed        int64
@@ -135,6 +144,21 @@ func (r *jobRegistry) newJobLocked(p params, key string, base *slog.Logger) *job
 	return j
 }
 
+// createSweep registers a queued sweep job. The params echo the sweep's
+// shared knobs (seed, per-config population, scheme set); the job's
+// progress counters run in configs rather than chips.
+func (r *jobRegistry) createSweep(p params, key string, spec []byte, base *slog.Logger) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.newJobLocked(p, key, base)
+	j.kind = jobKindSweep
+	j.spec = spec
+	j.state = jobQueued
+	r.byID[j.id] = j
+	r.byKey[key] = j
+	return j
+}
+
 // markRunning transitions a job to running and returns its queue wait
 // (within this server lifetime; resumed jobs carry earlier waits in
 // priorWaitMS).
@@ -216,6 +240,7 @@ func (r *jobRegistry) summaryLocked(j *job) JobSummary {
 	done, total := j.scope.Progress()
 	return JobSummary{
 		ID:          j.id,
+		Kind:        j.kind,
 		State:       j.state,
 		Seed:        j.seed,
 		Chips:       j.chips,

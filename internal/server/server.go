@@ -48,6 +48,10 @@ type Config struct {
 	CacheEntries int
 	// MaxChips is the largest accepted population size (default 20000).
 	MaxChips int
+	// MaxSweepConfigs is the largest design-space sweep accepted by
+	// POST /v1/sweep, counted in resolved configs (geometry × tech grid ×
+	// constraint sets); larger plans are refused with 400 (default 256).
+	MaxSweepConfigs int
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 30s).
 	DefaultTimeout time.Duration
@@ -103,6 +107,9 @@ func (c *Config) fill() {
 	if c.MaxChips <= 0 {
 		c.MaxChips = 20000
 	}
+	if c.MaxSweepConfigs <= 0 {
+		c.MaxSweepConfigs = 256
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -142,13 +149,17 @@ func (c *Config) fill() {
 type studyBuilder func(ctx context.Context, cfg yieldcache.StudyConfig) (*yieldcache.Study, error)
 
 // call is one in-progress build; requests for the same canonical key
-// wait on done instead of building again.
+// wait on done instead of building again. A call carries either a study
+// (res) or a sweep (sweep) result, never both — the job's kind decides.
 type call struct {
 	done   chan struct{}
 	job    *job                        // the build's job-registry entry; immutable
-	resume *yieldcache.BuildCheckpoint // non-nil when resuming a crashed build
+	resume *yieldcache.BuildCheckpoint // non-nil when resuming a crashed study build
 	res    *StudyResponse              // immutable once done is closed
 	err    error
+
+	sweepResume map[int]SweepConfigResult // per-config checkpoint of a resumed sweep
+	sweep       *SweepResponse            // immutable once done is closed
 }
 
 // Server is the yieldd request handler plus its job queue and caches.
@@ -165,8 +176,8 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     int // builds admitted (queued + running)
 	inflight map[string]*call
-	cache    map[string]*StudyResponse
-	order    []string // cache keys, oldest first
+	cache    map[string]any // *StudyResponse, or *SweepResponse under "sweep/" keys
+	order    []string       // cache keys, oldest first
 	draining bool
 
 	store     store.Store                 // nil when durability is disabled
@@ -207,7 +218,7 @@ func New(cfg Config) *Server {
 		cancel:       cancel,
 		slots:        make(chan struct{}, cfg.Workers),
 		inflight:     make(map[string]*call),
-		cache:        make(map[string]*StudyResponse),
+		cache:        make(map[string]any),
 		store:        cfg.Store,
 		idem:         make(map[string]store.IdemRecord),
 		idemByKey:    make(map[string][]string),
@@ -245,12 +256,13 @@ func (s *Server) flightExtra() map[string]float64 {
 }
 
 // Handler returns the instrumented route table: POST /v1/study,
-// GET /v1/constraints, GET /v1/jobs, GET /v1/jobs/{id},
+// POST /v1/sweep, GET /v1/constraints, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/trace, GET /v1/jobs/{id}/events, GET /v1/events,
 // GET /v1/runtime/history, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/study", obs.Instrument("study", http.HandlerFunc(s.handleStudy)))
+	mux.Handle("/v1/sweep", obs.Instrument("sweep", http.HandlerFunc(s.handleSweep)))
 	mux.Handle("/v1/constraints", obs.Instrument("constraints", http.HandlerFunc(s.handleConstraints)))
 	mux.Handle("/v1/jobs", obs.Instrument("jobs", http.HandlerFunc(s.handleJobs)))
 	mux.Handle("/v1/jobs/{id}", obs.Instrument("job", http.HandlerFunc(s.handleJob)))
@@ -446,7 +458,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	if idemKey != "" && s.idemLookupLocked(w, r, idemKey, bodyHash, p) {
 		return
 	}
-	if res, ok := s.cache[key]; ok {
+	if res, ok := s.cache[key].(*StudyResponse); ok {
 		s.mu.Unlock()
 		obs.C("server_study_cache_hits_total").Inc()
 		jobID := ""

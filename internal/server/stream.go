@@ -95,7 +95,7 @@ func canStream(w http.ResponseWriter) bool {
 var jobStreamTypes = []obs.EventType{
 	obs.EventJobStarted, obs.EventJobProgress, obs.EventJobPhase,
 	obs.EventJobCompleted, obs.EventJobFailed,
-	obs.EventJobResumed, obs.EventJobCheckpoint,
+	obs.EventJobResumed, obs.EventJobCheckpoint, obs.EventSweepConfig,
 }
 
 // terminalEvent reports whether ev ends a job's stream.

@@ -134,6 +134,9 @@ type JobSummary struct {
 	// header of the study that started it and used as the "job" log
 	// attribute.
 	ID string `json:"id"`
+	// Kind is "sweep" for design-space sweeps (POST /v1/sweep); omitted
+	// for study builds. Sweep jobs count progress in configs, not chips.
+	Kind string `json:"kind,omitempty"`
 	// State is queued, running, done or failed.
 	State string `json:"state"`
 	// Seed, Chips, Constraints and Schemes echo the resolved study

@@ -44,6 +44,13 @@ type JobRecord struct {
 	Schemes     []string `json:"schemes"`
 	TimeoutMS   int64    `json:"timeout_ms"`
 
+	// Kind distinguishes job flavours; empty means a study build, "sweep"
+	// a design-space sweep. Spec carries a sweep's canonical resolved
+	// request JSON, enough to replan and resume it after a crash (the
+	// study fields above serve that role for studies).
+	Kind string `json:"kind,omitempty"`
+	Spec []byte `json:"spec,omitempty"`
+
 	// Restarts counts how many times the job has been resumed after a
 	// crash; CheckpointChips is the frontier of its newest checkpoint.
 	Restarts        int `json:"restarts,omitempty"`

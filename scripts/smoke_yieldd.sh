@@ -128,6 +128,44 @@ grep -q '^runtime_goroutines ' "$TMP/metrics.prom" ||
 echo "== structured logs =="
 grep -q "\"job\":\"$JOB\"" "$TMP/yieldd.log" || fail "no JSON log line carries the job id"
 
+echo "== sweep (scenarios/smoke.json) =="
+# Watch the firehose for per-config sweep events while the smoke
+# scenario runs for the first time.
+curl -sN -m 10 "$BASE/v1/events?types=sweep_config,job_completed" \
+    >"$TMP/sweepevents.txt" 2>/dev/null &
+CURL_PID=$!
+sleep 0.3
+curl -sf -D "$TMP/sweep.h" -o "$TMP/sweep.json" \
+    -X POST "$BASE/v1/sweep" \
+    -H 'Content-Type: application/json' \
+    -d @scenarios/smoke.json || fail "POST /v1/sweep failed"
+grep -q '"configs": 2' "$TMP/sweep.json" || fail "smoke sweep did not resolve 2 configs"
+grep -q '"delta_builds": 1' "$TMP/sweep.json" || fail "smoke sweep reports no delta build"
+grep -q '"frontiers"' "$TMP/sweep.json" || fail "sweep response has no frontiers"
+grep -q '"revenue_per_wafer"' "$TMP/sweep.json" || fail "sweep economics missing"
+SWEEP_JOB="$(tr -d '\r' <"$TMP/sweep.h" | awk 'tolower($1) == "x-job-id:" {print $2}')"
+[ -n "$SWEEP_JOB" ] || fail "sweep response carried no X-Job-Id header"
+curl -sf "$BASE/v1/jobs/$SWEEP_JOB" | grep -q '"kind": "sweep"' ||
+    fail "sweep job not marked kind=sweep in /v1/jobs/$SWEEP_JOB"
+i=0
+until grep -q '^event: sweep_config$' "$TMP/sweepevents.txt" 2>/dev/null; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && fail "firehose never saw a sweep_config event: $(cat "$TMP/sweepevents.txt")"
+    sleep 0.2
+done
+kill "$CURL_PID" 2>/dev/null || true
+wait "$CURL_PID" 2>/dev/null || true
+curl -sf -X POST "$BASE/v1/sweep" -H 'Content-Type: application/json' \
+    -d @scenarios/smoke.json | grep -q '"cached": true' || fail "sweep replay not cached"
+
+echo "== scenario corpus =="
+for f in scenarios/*.json; do
+    curl -sf -X POST "$BASE/v1/sweep" -H 'Content-Type: application/json' \
+        -d @"$f" >"$TMP/scenario.json" || fail "scenario $f failed"
+    grep -q '"frontiers"' "$TMP/scenario.json" || fail "scenario $f returned no frontiers"
+    echo "scenario $f ok"
+done
+
 # --- durability: the crash-recovery path -----------------------------
 # Reference tables from the ephemeral server above: the big study the
 # durable server will crash out of and resume must end with these.
