@@ -358,6 +358,38 @@ func BenchmarkPopulationBuildPairCheckpointed(b *testing.B) {
 	b.ReportMetric(float64(sunk)/float64(b.N), "ckpts/op")
 }
 
+// BenchmarkEstimateArmed is the pair builder with streaming yield
+// estimation armed at a server-realistic snapshot interval. Like the
+// checkpointer, the estimator must stay off the per-chip hot path: the
+// benchmark first pins the alloc budget (arming costs at most two
+// allocations per build — the estimator and its frontier slice — and
+// nothing per chip) and then reports the throughput with snapshots
+// publishing.
+func BenchmarkEstimateArmed(b *testing.B) {
+	const n = 200
+	plainCfg := core.PopulationConfig{N: n, Seed: 2006}
+	plain := testing.AllocsPerRun(10, func() { core.BuildPopulationPair(plainCfg) })
+	published := 0
+	est := &core.EstimateConfig{
+		Interval: 2 * time.Millisecond,
+		Sink:     func(*core.YieldEstimate) { published++ },
+	}
+	armedCfg := plainCfg
+	armedCfg.Estimate = est
+	armed := testing.AllocsPerRun(10, func() { core.BuildPopulationPair(armedCfg) })
+	if extra := armed - plain; extra > 2 {
+		b.Fatalf("arming estimation costs %.0f extra allocs per build, budget is 2", extra)
+	}
+	published = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		armedCfg.Seed = int64(i + 1)
+		core.BuildPopulationPair(armedCfg)
+	}
+	b.ReportMetric(float64(2*n*b.N)/b.Elapsed().Seconds(), "chips/s")
+	b.ReportMetric(float64(published)/float64(b.N), "snapshots/op")
+}
+
 // BenchmarkMeasure is the steady-state single-chip kernel: one warm
 // evaluator, one reused destination. The interesting numbers are
 // allocs/op (must be 0) and ns/op.

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	yieldsim [-chips N] [-seed S] [-constraints nominal|relaxed|strict] [-csv] [-save pop.gob]
+//	         [-target-ci W] [-confidence C]
 //	         [-metrics-out m.json] [-trace-out t.json] [-manifest-out run.json] [-pprof addr]
 package main
 
@@ -14,10 +15,12 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"time"
 
 	"yieldcache"
 	"yieldcache/internal/obs"
 	"yieldcache/internal/report"
+	"yieldcache/internal/stats"
 )
 
 func main() {
@@ -26,8 +29,21 @@ func main() {
 	consName := flag.String("constraints", "nominal", "yield constraints: nominal, relaxed or strict")
 	csv := flag.Bool("csv", false, "emit the population (latency, leakage, classification) as CSV and exit")
 	save := flag.String("save", "", "write the regular population to this file (gob) after building")
+	targetCI := flag.Float64("target-ci", 0,
+		"stop sampling early once the base-yield interval half-width reaches this target (0 < W < 1; 0 builds the full population)")
+	confidence := flag.Float64("confidence", 0.95,
+		"confidence level of the yield intervals printed with every table and of -target-ci")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *targetCI < 0 || *targetCI >= 1 {
+		slog.Error("-target-ci out of range", "target_ci", *targetCI, "want", "0 <= W < 1")
+		os.Exit(2)
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		slog.Error("-confidence out of range", "confidence", *confidence, "want", "0 < C < 1")
+		os.Exit(2)
+	}
 
 	run := obsFlags.Activate("yieldsim")
 	defer func() {
@@ -51,9 +67,23 @@ func main() {
 	}
 	run.Manifest.Set("chips", *chips).Set("seed", *seed).Set("constraints", *consName)
 
-	study := yieldcache.NewStudy(yieldcache.StudyConfig{Chips: *chips, Seed: *seed, Constraints: &cons})
+	scfg := yieldcache.StudyConfig{Chips: *chips, Seed: *seed, Constraints: &cons}
+	if *targetCI > 0 {
+		// Check the stopping rule on (nearly) every chip: CLI builds
+		// finish in well under the default 250ms snapshot interval.
+		scfg.Estimate = &yieldcache.EstimateConfig{
+			Interval:      time.Nanosecond,
+			TargetCIWidth: *targetCI,
+			Confidence:    *confidence,
+		}
+		run.Manifest.Set("target_ci_width", *targetCI).Set("confidence", *confidence)
+	}
+	study := yieldcache.NewStudy(scfg)
 	run.Manifest.Set("limit_delay_ps", study.Limits.DelayPS).
 		Set("limit_leakage_w", study.Limits.LeakageW)
+	if est := study.Estimate; est != nil && est.EarlyStop {
+		run.Manifest.Set("early_stop", true).Set("chips_measured", est.Chips)
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -84,24 +114,35 @@ func main() {
 
 	fmt.Printf("constraints: %s (delay mean+%.1f sigma, leakage %.0fx average)\n",
 		cons.Name, cons.DelaySigmaK, cons.LeakageMult)
-	fmt.Printf("limits: delay %.1f ps, leakage %.2f mW\n\n",
+	fmt.Printf("limits: delay %.1f ps, leakage %.2f mW\n",
 		study.Limits.DelayPS, study.Limits.LeakageW*1e3)
+	if est := study.Estimate; est != nil && est.EarlyStop {
+		fmt.Printf("precision: ±%.3f at %.0f%% confidence reached after %d of %d chips (early stop)\n",
+			*targetCI, *confidence*100, est.Chips, *chips)
+	}
+	fmt.Println()
+
+	// ciHalf is the half-width of the Wilson score interval on a yield
+	// with k sellable chips out of n, at the -confidence level.
+	ciHalf := func(k, n int) float64 {
+		lo, hi := stats.WilsonInterval(int64(k), int64(n), *confidence)
+		return (hi - lo) / 2
+	}
+	printYields := func(bd yieldcache.LossBreakdown) {
+		fmt.Printf("base yield %.1f%% ±%.1f%%", bd.Yield(-1)*100, ciHalf(bd.N-bd.BaseTotal, bd.N)*100)
+		for i, s := range bd.Schemes {
+			fmt.Printf("; %s %.1f%% ±%.1f%%", s.Scheme, bd.Yield(i)*100, ciHalf(bd.N-s.Total, bd.N)*100)
+		}
+		fmt.Print("\n\n")
+	}
 
 	bd := study.Table2()
 	fmt.Println(yieldcache.RenderBreakdown("Loss breakdown, regular power-down", bd))
-	fmt.Printf("base yield %.1f%%", bd.Yield(-1)*100)
-	for i, s := range bd.Schemes {
-		fmt.Printf("; %s %.1f%%", s.Scheme, bd.Yield(i)*100)
-	}
-	fmt.Print("\n\n")
+	printYields(bd)
 
 	bd3 := study.Table3()
 	fmt.Println(yieldcache.RenderBreakdown("Loss breakdown, horizontal power-down", bd3))
-	fmt.Printf("base yield %.1f%%", bd3.Yield(-1)*100)
-	for i, s := range bd3.Schemes {
-		fmt.Printf("; %s %.1f%%", s.Scheme, bd3.Yield(i)*100)
-	}
-	fmt.Print("\n\n")
+	printYields(bd3)
 
 	fmt.Println(yieldcache.RenderFigure8(study.Figure8(), 72, 24))
 }

@@ -109,6 +109,12 @@ func (r LossReason) String() string {
 	}
 }
 
+// NumLossReasons is the number of distinct loss rows (the length of
+// LossReasons). Fixed-size accumulator arrays — the streaming yield
+// estimator's per-reason tallies in particular — are dimensioned with
+// it so arming them costs no per-snapshot allocation.
+const NumLossReasons = 5
+
 // LossReasons lists the loss rows in table order.
 func LossReasons() []LossReason {
 	return []LossReason{LossLeakage, LossDelay1, LossDelay2, LossDelay3, LossDelay4}

@@ -56,6 +56,10 @@ type PopulationConfig struct {
 	// Checkpoint enables periodic build checkpointing and crash resume;
 	// nil (the default) adds nothing to the hot loop.
 	Checkpoint *CheckpointConfig
+	// Estimate arms streaming yield estimation (live confidence
+	// intervals and, optionally, precision-targeted stopping); nil (the
+	// default) adds nothing to the hot loop.
+	Estimate *EstimateConfig
 }
 
 func (c *PopulationConfig) fill() {
@@ -89,7 +93,7 @@ func (c *PopulationConfig) fill() {
 // the previous simulations". Evaluation is parallelised across CPUs;
 // the result is independent of the worker count.
 func BuildPopulation(cfg PopulationConfig) *Population {
-	reg, _, _ := buildPopulations(context.Background(), cfg, false)
+	reg, _, _, _ := buildPopulations(context.Background(), cfg, false)
 	return reg
 }
 
@@ -98,7 +102,7 @@ func BuildPopulation(cfg PopulationConfig) *Population {
 // deadline passes. Long-running callers — the yieldd request path in
 // particular — use it to bound the Monte Carlo by a request timeout.
 func BuildPopulationCtx(ctx context.Context, cfg PopulationConfig) (*Population, error) {
-	reg, _, err := buildPopulations(ctx, cfg, false)
+	reg, _, _, err := buildPopulations(ctx, cfg, false)
 	return reg, err
 }
 
@@ -109,14 +113,30 @@ func BuildPopulationCtx(ctx context.Context, cfg PopulationConfig) (*Population,
 // the "same process variation parameters" guarantee holds by
 // construction — and the sampling cost is paid once instead of twice.
 func BuildPopulationPair(cfg PopulationConfig) (regular, horizontal *Population) {
-	regular, horizontal, _ = buildPopulations(context.Background(), cfg, true)
+	regular, horizontal, _, _ = buildPopulations(context.Background(), cfg, true)
 	return regular, horizontal
 }
 
 // BuildPopulationPairCtx is BuildPopulationPair with cancellation,
 // mirroring BuildPopulationCtx.
 func BuildPopulationPairCtx(ctx context.Context, cfg PopulationConfig) (regular, horizontal *Population, err error) {
-	return buildPopulations(ctx, cfg, true)
+	regular, horizontal, _, err = buildPopulations(ctx, cfg, true)
+	return regular, horizontal, err
+}
+
+// BuildPopulationPairEstimate is BuildPopulationPairCtx returning the
+// final streaming yield estimate alongside the populations. The
+// estimate is nil unless cfg.Estimate armed estimation; when its
+// EarlyStop field is set, the returned populations are truncated to
+// the (batch-aligned, fully measured) prefix at which the precision
+// target was met, and every chip in them is bit-identical to the same
+// chip of an untruncated build.
+func BuildPopulationPairEstimate(ctx context.Context, cfg PopulationConfig) (regular, horizontal *Population, final *YieldEstimate, err error) {
+	regular, horizontal, est, err := buildPopulations(ctx, cfg, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return regular, horizontal, est.final(), nil
 }
 
 // buildPopulations is the single-pass Monte Carlo engine behind all
@@ -132,7 +152,7 @@ func BuildPopulationPairCtx(ctx context.Context, cfg PopulationConfig) (regular,
 // global one and the scope's progress counter advances once per batch
 // at the same poll point, so a running job can report live chips-done
 // counts at no extra hot-loop cost beyond one atomic add.
-func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Population, *Population, error) {
+func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Population, *Population, *estimator, error) {
 	cfg.fill()
 	spanName := "build_population"
 	if pair {
@@ -176,7 +196,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	}
 	if cancelled.Load() {
 		obs.C("core_population_builds_cancelled_total").Inc()
-		return nil, nil, ctx.Err()
+		return nil, nil, nil, ctx.Err()
 	}
 
 	// Resume: seed the arena with a checkpointed prefix. Chip i is a
@@ -186,7 +206,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	if cfg.Checkpoint != nil && cfg.Checkpoint.Resume != nil {
 		r := cfg.Checkpoint.Resume
 		if err := validateResume(r, &cfg, pair, geom); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for i := 0; i < r.Done; i++ {
 			copyMeasInto(&regChips[i].Meas, &r.Regular[i].Meas)
@@ -201,6 +221,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 
 	workers := cfg.Workers
 	ckp := newCheckpointer(cfg.Checkpoint, base, cfg.N, workers, pair, &cfg, geom, regChips, horChips, scope)
+	est := newEstimator(cfg.Estimate, base, cfg.N, workers, regChips, scope)
 	workerSec := obs.H("core_population_worker_seconds", obs.ExpBuckets(1e-4, 4, 10))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -221,7 +242,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 			var ids [sram.BatchWidth]int
 			var regV, horV [sram.BatchWidth]*sram.CacheMeasurement
 			for i := start; i < cfg.N; {
-				if cancelled.Load() {
+				if cancelled.Load() || est.stopped() {
 					break
 				}
 				bn, last := 0, i
@@ -243,6 +264,7 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 				if ckp != nil {
 					ckp.advance(w, last, workers)
 				}
+				est.advance(w, last, workers)
 			}
 			workerSec.Observe(time.Since(t0).Seconds())
 			ws.End()
@@ -252,10 +274,33 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	ckp.close()
 	if err := ctx.Err(); err != nil {
 		obs.C("core_population_builds_cancelled_total").Inc()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
-	measured := cfg.N
+	// Precision-targeted stop: truncate to the exact batch-aligned
+	// frontier at which the stopping rule fired, so the final
+	// population — and every statistic derived from it — is the prefix
+	// the decision was made on (final CI half-width <= target by
+	// construction). Workers may have measured a few batches past the
+	// frontier between the decision and their next poll; those chips
+	// are discarded, keeping the result a pure function of the decision
+	// frontier rather than of scheduling luck. The truncation happens
+	// at the Population literals below rather than by reassigning
+	// regChips/horChips — a reassignment after the workers captured the
+	// slices would force their headers onto the heap and cost the
+	// disabled path an allocation.
+	built := cfg.N
+	early := false
+	if p := est.stopPrefix(); p > 0 {
+		built = p
+		early = true
+		done, _ := scope.Progress()
+		scope.SetProgressTotal(done)
+		obs.C("core_builds_early_stopped_total").Inc()
+	}
+	est.finalize(built, early)
+
+	measured := built
 	if pair {
 		measured *= 2
 	}
@@ -268,11 +313,11 @@ func buildPopulations(ctx context.Context, cfg PopulationConfig, pair bool) (*Po
 	}
 	scope.C("job_chips_built_total").Add(int64(measured))
 	scope.G("job_build_seconds").Set(elapsed)
-	reg := &Population{Chips: regChips, Model: regModel, Seed: cfg.Seed}
+	reg := &Population{Chips: regChips[:built], Model: regModel, Seed: cfg.Seed}
 	if !pair {
-		return reg, nil, nil
+		return reg, nil, est, nil
 	}
-	return reg, &Population{Chips: horChips, Model: horModel, Seed: cfg.Seed}, nil
+	return reg, &Population{Chips: horChips[:built], Model: horModel, Seed: cfg.Seed}, est, nil
 }
 
 // newModelWithGeom builds an sram.Model and, when g is non-nil,

@@ -24,6 +24,10 @@ const (
 	// EventJobPhase fires when a build enters a new pipeline phase
 	// (queue_wait, new_study, build_population/pair, …).
 	EventJobPhase EventType = "job_phase"
+	// EventJobEstimate is a throttled streaming yield estimate: the
+	// build's live yield with its confidence interval (Yield,
+	// CILow/CIHigh) over the Done chips measured so far.
+	EventJobEstimate EventType = "job_estimate"
 	// EventJobCompleted and EventJobFailed are terminal: exactly one of
 	// them ends every admitted job, carrying the error class.
 	EventJobCompleted EventType = "job_completed"
@@ -52,7 +56,8 @@ const (
 // allEventTypes is the closed set behind EventType.Valid.
 var allEventTypes = map[EventType]bool{
 	EventJobAdmitted: true, EventJobStarted: true, EventJobProgress: true,
-	EventJobPhase: true, EventJobCompleted: true, EventJobFailed: true,
+	EventJobPhase: true, EventJobEstimate: true,
+	EventJobCompleted: true, EventJobFailed: true,
 	EventJobResumed: true, EventJobCheckpoint: true, EventSweepConfig: true,
 	EventCacheHit: true, EventCacheEvict: true,
 	EventQueuePressure: true, EventShed: true,
@@ -99,6 +104,12 @@ type Event struct {
 	Running int `json:"running,omitempty"`
 	// Key is the canonical study key of cache_evict events.
 	Key string `json:"key,omitempty"`
+	// Yield and CILow/CIHigh carry a job_estimate event's streaming
+	// yield estimate and its confidence interval; Done counts the chips
+	// the estimate covers.
+	Yield  float64 `json:"yield,omitempty"`
+	CILow  float64 `json:"ci_low,omitempty"`
+	CIHigh float64 `json:"ci_high,omitempty"`
 	// QueueWaitMS is the admission-to-slot wait of job_started events.
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	// ElapsedMS is the build wall time of job_completed events.

@@ -135,8 +135,8 @@ func TestEventTypeValid(t *testing.T) {
 	if EventType("bogus").Valid() {
 		t.Error(`"bogus" reported valid`)
 	}
-	if n := len(EventTypes()); n != 13 {
-		t.Errorf("EventTypes() has %d entries, want 13", n)
+	if n := len(EventTypes()); n != 14 {
+		t.Errorf("EventTypes() has %d entries, want 14", n)
 	}
 }
 
@@ -248,4 +248,31 @@ func BenchmarkEventBusPublishOneSubscriber(b *testing.B) {
 	b.StopTimer()
 	sub.Close()
 	<-done
+}
+
+func TestScopePublishEstimateThrottled(t *testing.T) {
+	b := NewEventBus()
+	sub := b.Subscribe(64, EventJobEstimate)
+	defer sub.Close()
+
+	s := NewScope("j000051", nil)
+	s.AttachEvents(b, time.Hour) // first estimate passes, the rest throttle
+	for i := 0; i < 50; i++ {
+		s.PublishEstimate(0.8, 0.75, 0.85, int64(i+1), 2000)
+	}
+	got := drain(sub)
+	if len(got) != 1 {
+		t.Fatalf("got %d estimate events under a 1h throttle, want 1", len(got))
+	}
+	ev := got[0]
+	if ev.Job != "j000051" || ev.Yield != 0.8 || ev.CILow != 0.75 || ev.CIHigh != 0.85 ||
+		ev.Done != 1 || ev.Total != 2000 {
+		t.Errorf("estimate event = %+v", ev)
+	}
+
+	// No subscriber for the type: publishing is a no-op, and a nil
+	// scope or unattached bus never panics.
+	var nilScope *Scope
+	nilScope.PublishEstimate(1, 1, 1, 1, 1)
+	NewScope("j000052", nil).PublishEstimate(1, 1, 1, 1, 1)
 }

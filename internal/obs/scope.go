@@ -40,6 +40,7 @@ type Scope struct {
 	events        *EventBus
 	progressMinNS int64
 	lastProgress  atomic.Int64 // UnixNano of the last progress event
+	lastEstimate  atomic.Int64 // UnixNano of the last estimate event
 }
 
 // discardLogger swallows log records; the fallback for nil scopes and
@@ -165,6 +166,29 @@ func (s *Scope) publishProgress(done int64) {
 	s.events.Publish(Event{
 		Type: EventJobProgress, Job: s.ID,
 		Done: done, Total: s.progressTotal.Load(),
+	})
+}
+
+// PublishEstimate emits a job_estimate event carrying a streaming
+// yield estimate — the live yield over the chips chips measured so
+// far, with its confidence interval — unless one was published within
+// the progress throttle interval or the bus has no subscriber. Like
+// publishProgress, racing publishers elect one via CompareAndSwap and
+// the losers return without blocking; an idle bus costs one atomic
+// load. Nil-safe.
+func (s *Scope) PublishEstimate(yield, ciLow, ciHigh float64, chips, total int64) {
+	if s == nil || s.events == nil || !s.events.Active() {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastEstimate.Load()
+	if now-last < s.progressMinNS || !s.lastEstimate.CompareAndSwap(last, now) {
+		return
+	}
+	s.events.Publish(Event{
+		Type: EventJobEstimate, Job: s.ID,
+		Yield: yield, CILow: ciLow, CIHigh: ciHigh,
+		Done: chips, Total: total,
 	})
 }
 

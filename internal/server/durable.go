@@ -42,6 +42,8 @@ func (s *Server) persistJob(j *job, p params, state string) {
 		Seed: p.seed, Chips: p.chips,
 		ConsName: p.cons.Name, DelaySigmaK: p.cons.DelaySigmaK, LeakageMult: p.cons.LeakageMult,
 		Schemes: p.schemes, TimeoutMS: p.timeout.Milliseconds(),
+		TargetCIWidth: p.targetCI, Confidence: p.confidence,
+		EarlyStop:     j.earlyStop.Load(),
 		Restarts:      j.restarts,
 		QueueWaitMS:   j.priorWaitMS,
 		CreatedUnixMS: j.created.UnixMilli(),
@@ -204,14 +206,20 @@ func (s *Server) expireIdemLocked(studyKey string) []string {
 // crashed server admitted.
 func (s *Server) paramsFromRecord(rec store.JobRecord) params {
 	p := params{
-		seed:    rec.Seed,
-		chips:   rec.Chips,
-		cons:    yieldcache.Constraints{Name: rec.ConsName, DelaySigmaK: rec.DelaySigmaK, LeakageMult: rec.LeakageMult},
-		schemes: rec.Schemes,
-		timeout: time.Duration(rec.TimeoutMS) * time.Millisecond,
+		seed:       rec.Seed,
+		chips:      rec.Chips,
+		cons:       yieldcache.Constraints{Name: rec.ConsName, DelaySigmaK: rec.DelaySigmaK, LeakageMult: rec.LeakageMult},
+		schemes:    rec.Schemes,
+		timeout:    time.Duration(rec.TimeoutMS) * time.Millisecond,
+		targetCI:   rec.TargetCIWidth,
+		confidence: rec.Confidence,
 	}
 	if p.timeout <= 0 {
 		p.timeout = s.cfg.DefaultTimeout
+	}
+	if p.confidence <= 0 {
+		// Records from before the estimation layer carry no confidence.
+		p.confidence = 0.95
 	}
 	return p
 }
@@ -358,8 +366,9 @@ func (r *jobRegistry) restoreFinished(rec store.JobRecord, base *slog.Logger) {
 		priorWaitMS: rec.QueueWaitMS,
 	}
 	j.admitted = j.created
+	j.earlyStop.Store(rec.EarlyStop)
 	j.scope.SetProgressTotal(int64(rec.Chips))
-	if rec.State == jobDone {
+	if rec.State == jobDone && !rec.EarlyStop {
 		j.scope.AddProgress(int64(rec.Chips))
 	}
 	r.byID[j.id] = j

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Every real study build streams yield estimates: the response must
+// carry the final estimate block, post-hoc Wilson intervals on every
+// breakdown yield, and the GET /v1/jobs/{id}/estimate endpoint must
+// serve the same final snapshot.
+func TestStudyResponseCarriesEstimateAndYieldCIs(t *testing.T) {
+	srv := New(Config{Workers: 1, FlightInterval: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, res, _ := postStudy(t, ts.URL, `{"chips": 120, "seed": 2006}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("study: status %d", resp.StatusCode)
+	}
+	if res.Estimate == nil {
+		t.Fatal("study response has no estimate block")
+	}
+	e := res.Estimate
+	if e.Chips != 120 || e.Total != 120 || e.EarlyStop || res.EarlyStop {
+		t.Errorf("final estimate shape = %+v (early_stop %v)", e, res.EarlyStop)
+	}
+	if e.Confidence != 0.95 {
+		t.Errorf("estimate confidence = %v, want the 0.95 default", e.Confidence)
+	}
+	if e.CILow > e.Yield || e.CIHigh < e.Yield || e.HalfWidth <= 0 {
+		t.Errorf("estimate interval [%v, %v] around %v (half-width %v)",
+			e.CILow, e.CIHigh, e.Yield, e.HalfWidth)
+	}
+	if got, want := e.Yield, res.Regular.Yields["base"]; got != want {
+		t.Errorf("estimate yield %v != breakdown base yield %v", got, want)
+	}
+	if len(e.Reasons) == 0 {
+		t.Error("estimate has no per-reason error bars")
+	}
+
+	for _, bd := range []Breakdown{res.Regular, res.Horizontal} {
+		for name, y := range bd.Yields {
+			ci, ok := bd.YieldCIs[name]
+			if !ok {
+				t.Errorf("breakdown yield %q has no confidence interval", name)
+				continue
+			}
+			if ci.Low > y || ci.High < y {
+				t.Errorf("yield %q: interval [%v, %v] does not bracket %v", name, ci.Low, ci.High, y)
+			}
+		}
+	}
+
+	id := resp.Header.Get("X-Job-Id")
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + id + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s/estimate: status %d", id, jr.StatusCode)
+	}
+	var je JobEstimateResponse
+	if err := json.NewDecoder(jr.Body).Decode(&je); err != nil {
+		t.Fatal(err)
+	}
+	if je.Job != id || je.State != jobDone {
+		t.Errorf("estimate endpoint job/state = %s/%s, want %s/done", je.Job, je.State, id)
+	}
+	if je.Estimate.Chips != 120 || je.Estimate.Yield != e.Yield {
+		t.Errorf("endpoint estimate %+v differs from response estimate %+v", je.Estimate, e)
+	}
+}
+
+// A precision-targeted study stops sampling before the requested
+// population: the response records early_stop, the estimate meets the
+// target, the tables cover only the measured prefix, and the job
+// summary carries the provenance flag.
+func TestStudyPrecisionEarlyStop(t *testing.T) {
+	srv := New(Config{Workers: 1, FlightInterval: -1, MaxChips: 20000, StreamInterval: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, res, _ := postStudy(t, ts.URL,
+		`{"chips": 4000, "seed": 2006, "precision": {"target_ci_width": 0.05}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("study: status %d", resp.StatusCode)
+	}
+	if !res.EarlyStop || res.Estimate == nil || !res.Estimate.EarlyStop {
+		t.Fatalf("precision study did not stop early: early_stop=%v estimate=%+v",
+			res.EarlyStop, res.Estimate)
+	}
+	if res.Estimate.Chips >= 4000 {
+		t.Errorf("stopped at %d chips, expected fewer than 4000", res.Estimate.Chips)
+	}
+	if res.Estimate.HalfWidth > 0.05 {
+		t.Errorf("final half-width %v exceeds the 0.05 target", res.Estimate.HalfWidth)
+	}
+	if res.Regular.N != res.Estimate.Chips {
+		t.Errorf("breakdown covers %d chips, estimate says %d measured", res.Regular.N, res.Estimate.Chips)
+	}
+
+	id := resp.Header.Get("X-Job-Id")
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var jd JobDetail
+	if err := json.NewDecoder(jr.Body).Decode(&jd); err != nil {
+		t.Fatal(err)
+	}
+	if !jd.EarlyStop {
+		t.Errorf("job detail lacks early_stop: %+v", jd.JobSummary)
+	}
+
+	// The same request without a precision target must not share the
+	// truncated cache entry: the full-population build reports no
+	// early stop and covers all 4000 chips.
+	resp2, full, _ := postStudy(t, ts.URL, `{"chips": 4000, "seed": 2006}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("full study: status %d", resp2.StatusCode)
+	}
+	if full.Cached || full.EarlyStop || full.Regular.N != 4000 {
+		t.Errorf("full study after precision study: cached=%v early_stop=%v n=%d",
+			full.Cached, full.EarlyStop, full.Regular.N)
+	}
+}
+
+// Precision validation: out-of-range targets and confidences are 400s.
+func TestStudyPrecisionValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, FlightInterval: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"chips": 40, "precision": {"target_ci_width": 0}}`,
+		`{"chips": 40, "precision": {"target_ci_width": 1.5}}`,
+		`{"chips": 40, "precision": {"target_ci_width": 0.1, "confidence": 1}}`,
+		`{"chips": 40, "precision": {"target_ci_width": 0.1, "confidence": -0.5}}`,
+	} {
+		resp, _, fail := postStudy(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+		if fail.Class != "validation" {
+			t.Errorf("%s: class %q, want validation", body, fail.Class)
+		}
+	}
+}
+
+// The estimate endpoint 404s for unknown jobs and for jobs that never
+// published a snapshot (here: a job that was shed at admission).
+func TestJobEstimateNotFound(t *testing.T) {
+	srv := New(Config{Workers: 1, FlightInterval: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999999/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job estimate: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// Sweep results carry post-hoc Wilson intervals on the base and
+// per-scheme yields of every config.
+func TestSweepYieldCIs(t *testing.T) {
+	srv := New(Config{Workers: 1, FlightInterval: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, sw, _ := postSweep(t, ts.URL, `{"chips": 60, "seed": 2006}`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	if len(sw.Results) == 0 {
+		t.Fatal("sweep returned no results")
+	}
+	for _, r := range sw.Results {
+		if r.BaseCILow > r.BaseYield || r.BaseCIHigh < r.BaseYield {
+			t.Errorf("config %d: base interval [%v, %v] does not bracket %v",
+				r.Index, r.BaseCILow, r.BaseCIHigh, r.BaseYield)
+		}
+		if r.BaseCILow == 0 && r.BaseCIHigh == 0 {
+			t.Errorf("config %d: base interval missing", r.Index)
+		}
+		for _, y := range r.Yields {
+			if y.CILow > y.Yield || y.CIHigh < y.Yield {
+				t.Errorf("config %d scheme %s: interval [%v, %v] does not bracket %v",
+					r.Index, y.Scheme, y.CILow, y.CIHigh, y.Yield)
+			}
+		}
+	}
+}

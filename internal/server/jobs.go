@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"yieldcache"
 	"yieldcache/internal/obs"
 )
 
@@ -62,6 +63,13 @@ type job struct {
 
 	cacheHits atomic.Int64 // later requests served from this job's cached result
 	coalesced atomic.Int64 // concurrent identical requests that waited on this build
+
+	// estimate is the most recent streaming yield estimate published by
+	// the build (a detached copy; nil until the first snapshot), served
+	// at /v1/jobs/{id}/estimate. earlyStop records that a precision
+	// target truncated the build.
+	estimate  atomic.Pointer[yieldcache.YieldEstimate]
+	earlyStop atomic.Bool
 }
 
 // jobRegistry tracks in-flight jobs and a bounded FIFO history of
@@ -252,7 +260,21 @@ func (r *jobRegistry) summaryLocked(j *job) JobSummary {
 		Class:       string(j.class),
 		Resumed:     j.restarts > 0,
 		Restarts:    j.restarts,
+		EarlyStop:   j.earlyStop.Load(),
 	}
+}
+
+// totalChips sums the chip progress of every tracked job; the flight
+// recorder diffs successive sums into the build_chips_per_second gauge.
+func (r *jobRegistry) totalChips() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, j := range r.byID {
+		done, _ := j.scope.Progress()
+		total += done
+	}
+	return total
 }
 
 // handleJobs serves GET /v1/jobs: every in-flight job plus the bounded
@@ -304,6 +326,34 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = j.scope.Tracer.WriteChromeTrace(w)
+}
+
+// handleJobEstimate serves GET /v1/jobs/{id}/estimate: the job's most
+// recent streaming yield estimate — live confidence intervals while the
+// build runs, the final estimate once it is done. A job whose build has
+// not yet published a snapshot (or that never ran) returns 404.
+func (s *Server) handleJobEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	j, ok := s.jobsReg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id (finished jobs are retained up to the -job-history bound)")
+		return
+	}
+	e := j.estimate.Load()
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no estimate published yet for this job")
+		return
+	}
+	s.jobsReg.mu.Lock()
+	state := j.state
+	s.jobsReg.mu.Unlock()
+	writeJSON(w, http.StatusOK, JobEstimateResponse{
+		Job: j.id, State: state, Estimate: toEstimateInfo(e),
+	})
 }
 
 // jobDetail assembles the GET /v1/jobs/{id} body. The ETA blends the

@@ -30,6 +30,7 @@ import (
 
 	"yieldcache"
 	"yieldcache/internal/obs"
+	"yieldcache/internal/stats"
 	"yieldcache/internal/store"
 )
 
@@ -196,6 +197,13 @@ type Server struct {
 	wg sync.WaitGroup // tracks builds for Drain
 
 	buildEWMA atomic.Uint64 // float64 bits: smoothed build seconds, for Retry-After
+
+	// Build-throughput EWMA behind the build_chips_per_second gauge:
+	// each flight-recorder sample diffs the summed per-job chip counters
+	// against the previous sample and folds the rate into chipsEWMA.
+	chipsEWMA    atomic.Uint64 // float64 bits: smoothed chips/second
+	lastChips    atomic.Int64  // summed chip progress at the previous flight sample
+	lastFlightNS atomic.Int64  // UnixNano of the previous flight sample
 }
 
 // maxPhaseLabels bounds the distinct phase label values of the
@@ -238,7 +246,8 @@ func New(cfg Config) *Server {
 
 // flightExtra feeds server-level gauges into every flight-recorder
 // sample (and, mirrored, onto /metrics): worker occupancy, queue depth,
-// the smoothed build estimate and the live SSE subscriber count.
+// the smoothed build estimate, the live SSE subscriber count, and the
+// smoothed Monte Carlo throughput in chips/second.
 func (s *Server) flightExtra() map[string]float64 {
 	busy := len(s.slots)
 	s.mu.Lock()
@@ -252,13 +261,44 @@ func (s *Server) flightExtra() map[string]float64 {
 		"server_queue_depth":        float64(queued),
 		"server_build_ewma_seconds": math.Float64frombits(s.buildEWMA.Load()),
 		"server_event_subscribers":  float64(s.bus.Subscribers()),
+		"build_chips_per_second":    s.observeChipRate(),
+	}
+}
+
+// observeChipRate advances the chips/second EWMA by one flight-recorder
+// occupancy sample: the delta of the summed per-job chip counters over
+// the wall time since the previous sample, smoothed 70/30 so an idle
+// sample decays the gauge instead of zeroing it. Eviction of finished
+// jobs can shrink the sum; negative deltas clamp to an idle sample.
+func (s *Server) observeChipRate() float64 {
+	now := time.Now().UnixNano()
+	total := s.jobsReg.totalChips()
+	prev := s.lastChips.Swap(total)
+	prevNS := s.lastFlightNS.Swap(now)
+	rate := 0.0
+	if dt := float64(now-prevNS) / 1e9; prevNS > 0 && dt > 0 {
+		if dc := total - prev; dc > 0 {
+			rate = float64(dc) / dt
+		}
+	}
+	for {
+		old := s.chipsEWMA.Load()
+		smoothed := math.Float64frombits(old)
+		next := rate
+		if smoothed > 0 {
+			next = 0.7*smoothed + 0.3*rate
+		}
+		if s.chipsEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
 	}
 }
 
 // Handler returns the instrumented route table: POST /v1/study,
 // POST /v1/sweep, GET /v1/constraints, GET /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/trace, GET /v1/jobs/{id}/events, GET /v1/events,
-// GET /v1/runtime/history, GET /healthz, GET /metrics.
+// GET /v1/jobs/{id}/trace, GET /v1/jobs/{id}/estimate,
+// GET /v1/jobs/{id}/events, GET /v1/events, GET /v1/runtime/history,
+// GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/study", obs.Instrument("study", http.HandlerFunc(s.handleStudy)))
@@ -267,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/jobs", obs.Instrument("jobs", http.HandlerFunc(s.handleJobs)))
 	mux.Handle("/v1/jobs/{id}", obs.Instrument("job", http.HandlerFunc(s.handleJob)))
 	mux.Handle("/v1/jobs/{id}/trace", obs.Instrument("job_trace", http.HandlerFunc(s.handleJobTrace)))
+	mux.Handle("/v1/jobs/{id}/estimate", obs.Instrument("job_estimate", http.HandlerFunc(s.handleJobEstimate)))
 	mux.Handle("/v1/jobs/{id}/events", obs.Instrument("job_events", http.HandlerFunc(s.handleJobEvents)))
 	mux.Handle("/v1/events", obs.Instrument("events", http.HandlerFunc(s.handleEvents)))
 	mux.Handle("/v1/runtime/history", obs.Instrument("runtime_history", http.HandlerFunc(s.handleRuntimeHistory)))
@@ -319,6 +360,12 @@ type params struct {
 	scatter bool
 	saved   bool
 	timeout time.Duration
+
+	// targetCI > 0 arms precision-targeted stopping at that half-width;
+	// confidence is the interval level (resolved to 0.95 when the
+	// request names none) and applies to streamed estimates either way.
+	targetCI   float64
+	confidence float64
 }
 
 // schemeOrder is the canonical scheme order; request scheme sets are
@@ -390,6 +437,21 @@ func (s *Server) parseRequest(req *StudyRequest) (params, error) {
 		}
 	}
 
+	p.confidence = 0.95
+	if req.Precision != nil {
+		pr := req.Precision
+		if pr.TargetCIWidth <= 0 || pr.TargetCIWidth >= 1 {
+			return p, fmt.Errorf("precision.target_ci_width must be in (0, 1), got %g", pr.TargetCIWidth)
+		}
+		if pr.Confidence < 0 || pr.Confidence >= 1 {
+			return p, fmt.Errorf("precision.confidence must be in (0, 1), got %g", pr.Confidence)
+		}
+		p.targetCI = pr.TargetCIWidth
+		if pr.Confidence > 0 {
+			p.confidence = pr.Confidence
+		}
+	}
+
 	p.scatter = req.IncludeScatter
 	p.saved = req.IncludeSavedConfigs
 	if req.TimeoutMS < 0 {
@@ -408,11 +470,17 @@ func (s *Server) parseRequest(req *StudyRequest) (params, error) {
 // key is the canonical cache/singleflight key: every request that must
 // produce the same populations and breakdown columns shares it. The
 // include_* presentation flags and the timeout are deliberately
-// excluded — they shape the response, not the computation.
+// excluded — they shape the response, not the computation. A precision
+// target joins the key (it can truncate the populations); its absence
+// leaves the key bit-compatible with records from earlier versions.
 func (p params) key() string {
-	return fmt.Sprintf("%d/%d/%s:%x:%x/%s",
+	k := fmt.Sprintf("%d/%d/%s:%x:%x/%s",
 		p.seed, p.chips, p.cons.Name, p.cons.DelaySigmaK, p.cons.LeakageMult,
 		strings.Join(p.schemes, "+"))
+	if p.targetCI > 0 {
+		k += fmt.Sprintf("/ci:%x@%x", p.targetCI, p.confidence)
+	}
+	return k
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
@@ -614,6 +682,7 @@ func (s *Server) compute(ctx context.Context, p params, c *call) (*StudyResponse
 			Resume:   c.resume,
 		}
 	}
+	scfg.Estimate = s.estimateConfig(p, c.job)
 	study, err := s.build(ctx, scfg)
 	if err != nil {
 		return nil, err
@@ -653,7 +722,83 @@ func (s *Server) compute(ctx context.Context, p params, c *call) (*StudyResponse
 			LeakageLimited: sc.LeakageLimited, Chips: sc.Chips,
 		})
 	}
+	if study.Estimate != nil {
+		ei := toEstimateInfo(study.Estimate)
+		res.Estimate = &ei
+		res.EarlyStop = study.Estimate.EarlyStop
+		if res.EarlyStop {
+			c.job.earlyStop.Store(true)
+		}
+	}
 	return res, nil
+}
+
+// estimateConfig arms streaming yield estimation for one build: every
+// snapshot lands on the job (GET /v1/jobs/{id}/estimate), streams as a
+// throttled job_estimate SSE event, and mirrors onto the global
+// estimate_* gauges; a request precision target adds early stopping.
+func (s *Server) estimateConfig(p params, j *job) *yieldcache.EstimateConfig {
+	interval := s.cfg.StreamInterval
+	if interval <= 0 {
+		// Per-chip streaming (tests): publish at every estimator poll.
+		interval = time.Nanosecond
+	} else if p.targetCI > 0 && interval > time.Millisecond {
+		// The stopping rule is only evaluated when a snapshot publishes,
+		// so a precision-targeted build polls much tighter than the SSE
+		// cadence — otherwise a build that finishes within one stream
+		// interval never gets a chance to stop. PublishEstimate's own
+		// throttle still bounds the event rate on the wire.
+		interval = time.Millisecond
+	}
+	return &yieldcache.EstimateConfig{
+		Interval:      interval,
+		Confidence:    p.confidence,
+		TargetCIWidth: p.targetCI,
+		Sink: func(e *yieldcache.YieldEstimate) {
+			snap := *e // detach from the estimator's reusable buffer
+			j.estimate.Store(&snap)
+			j.scope.PublishEstimate(e.Yield, e.CILow, e.CIHigh, int64(e.Chips), int64(e.Total))
+			obs.G("estimate_yield").Set(e.Yield)
+			obs.G("estimate_ci_low").Set(e.CILow)
+			obs.G("estimate_ci_high").Set(e.CIHigh)
+			obs.G("estimate_half_width").Set(e.HalfWidth)
+			obs.G("estimate_chips").Set(float64(e.Chips))
+		},
+	}
+}
+
+// toEstimateInfo converts a core estimate snapshot to the wire shape.
+func toEstimateInfo(e *yieldcache.YieldEstimate) EstimateInfo {
+	out := EstimateInfo{
+		Chips:           e.Chips,
+		Total:           e.Total,
+		Confidence:      e.Confidence,
+		Yield:           e.Yield,
+		CILow:           e.CILow,
+		CIHigh:          e.CIHigh,
+		HalfWidth:       e.HalfWidth,
+		Lost:            e.Lost,
+		MeanLatencyPS:   e.MeanLatencyPS,
+		StdErrLatencyPS: e.StdErrLatencyPS,
+		MeanLeakageW:    e.MeanLeakageW,
+		StdErrLeakageW:  e.StdErrLeakageW,
+		Reasons:         make([]ReasonEstimateInfo, 0, len(e.Reasons)),
+		EarlyStop:       e.EarlyStop,
+	}
+	for _, r := range e.Reasons {
+		out.Reasons = append(out.Reasons, ReasonEstimateInfo{
+			Reason: r.Reason.String(), Lost: r.Lost, Share: r.Share,
+			CILow: r.CILow, CIHigh: r.CIHigh,
+		})
+	}
+	return out
+}
+
+// wilsonYieldCI is the post-hoc 95% Wilson interval on a final yield:
+// k passing chips out of n.
+func wilsonYieldCI(k, n int) YieldCI {
+	lo, hi := stats.WilsonInterval(int64(k), int64(n), 0.95)
+	return YieldCI{Low: lo, High: hi}
 }
 
 // regularSchemes maps request scheme names to the regular-organisation
@@ -698,10 +843,13 @@ func toBreakdown(bd yieldcache.LossBreakdown) Breakdown {
 		Totals:    make(map[string]int, len(bd.Schemes)),
 		Yields:    make(map[string]float64, len(bd.Schemes)+1),
 	}
+	out.YieldCIs = make(map[string]YieldCI, len(bd.Schemes)+1)
 	out.Yields["base"] = bd.Yield(-1)
+	out.YieldCIs["base"] = wilsonYieldCI(bd.N-bd.BaseTotal, bd.N)
 	for i, s := range bd.Schemes {
 		out.Totals[s.Scheme] = s.Total
 		out.Yields[s.Scheme] = bd.Yield(i)
+		out.YieldCIs[s.Scheme] = wilsonYieldCI(bd.N-s.Total, bd.N)
 	}
 	for _, r := range yieldcache.AllLossReasons() {
 		row := BreakdownRow{

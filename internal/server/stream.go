@@ -94,6 +94,7 @@ func canStream(w http.ResponseWriter) bool {
 // only be opened after the admission that minted the id).
 var jobStreamTypes = []obs.EventType{
 	obs.EventJobStarted, obs.EventJobProgress, obs.EventJobPhase,
+	obs.EventJobEstimate,
 	obs.EventJobCompleted, obs.EventJobFailed,
 	obs.EventJobResumed, obs.EventJobCheckpoint, obs.EventSweepConfig,
 }
@@ -226,7 +227,8 @@ func (s *Server) streamLoop(r *http.Request, sw *sseWriter, sub *obs.EventSub, j
 
 // jobSnapshotEvents renders a job's current state as synthetic events
 // (Seq 0: they never occupy bus sequence numbers): always a progress
-// snapshot, plus the terminal event when the job already finished.
+// snapshot, the latest yield estimate when the build has published one,
+// plus the terminal event when the job already finished.
 func (s *Server) jobSnapshotEvents(j *job) (evs []obs.Event, terminal bool) {
 	s.jobsReg.mu.Lock()
 	state, class, errMsg := j.state, j.class, j.errMsg
@@ -237,6 +239,11 @@ func (s *Server) jobSnapshotEvents(j *job) (evs []obs.Event, terminal bool) {
 	now := time.Now().UnixMilli()
 	evs = append(evs, obs.Event{TimeMS: now, Type: obs.EventJobProgress,
 		Job: j.id, Done: done, Total: total})
+	if e := j.estimate.Load(); e != nil {
+		evs = append(evs, obs.Event{TimeMS: now, Type: obs.EventJobEstimate,
+			Job: j.id, Yield: e.Yield, CILow: e.CILow, CIHigh: e.CIHigh,
+			Done: int64(e.Chips), Total: int64(e.Total)})
+	}
 	switch state {
 	case jobDone:
 		elapsed := 0.0

@@ -184,15 +184,20 @@ func TestJobEventsReplayOnFinishedJob(t *testing.T) {
 	// The handler returns after the replayed terminal event, so the body
 	// ends on its own: read it all.
 	frames := readSSE(t, sresp.Body, nil)
-	if len(frames) != 2 || frames[0].event != "job_progress" || frames[1].event != "job_completed" {
-		t.Fatalf("replay frames = %+v, want job_progress then job_completed", frames)
+	if len(frames) != 3 || frames[0].event != "job_progress" ||
+		frames[1].event != "job_estimate" || frames[2].event != "job_completed" {
+		t.Fatalf("replay frames = %+v, want job_progress, job_estimate, then job_completed", frames)
 	}
-	term := decodeEvent(t, frames[1])
+	est := decodeEvent(t, frames[1])
+	if est.Yield <= 0 || est.CILow >= est.Yield || est.CIHigh <= est.Yield || est.Done != 20 {
+		t.Errorf("replayed estimate event = %+v", est)
+	}
+	term := decodeEvent(t, frames[2])
 	if term.Class != "ok" || term.Done != 20 || term.Total != 20 || term.ElapsedMS <= 0 {
 		t.Errorf("replayed terminal event = %+v", term)
 	}
-	if frames[1].id != "" {
-		t.Errorf("replayed event carries bus seq id %q, want none", frames[1].id)
+	if frames[1].id != "" || frames[2].id != "" {
+		t.Errorf("replayed events carry bus seq ids %q/%q, want none", frames[1].id, frames[2].id)
 	}
 }
 

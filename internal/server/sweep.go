@@ -150,9 +150,12 @@ type SweepConfigResult struct {
 	MeanLatencyPS float64 `json:"mean_latency_ps"`
 	MeanLeakageW  float64 `json:"mean_leakage_w"`
 	// BaseYield is the yield-unaware sellable fraction; BaseLost the
-	// chips it discards.
-	BaseYield float64 `json:"base_yield"`
-	BaseLost  int     `json:"base_lost"`
+	// chips it discards. BaseCILow/BaseCIHigh is the 95% Wilson
+	// interval on BaseYield over the config's population.
+	BaseYield  float64 `json:"base_yield"`
+	BaseLost   int     `json:"base_lost"`
+	BaseCILow  float64 `json:"base_ci_low"`
+	BaseCIHigh float64 `json:"base_ci_high"`
 	// Yields are the per-scheme outcomes in request scheme order.
 	Yields []SweepYield `json:"yields"`
 	// Economics prices base plus each scheme (present only when the
@@ -160,11 +163,14 @@ type SweepConfigResult struct {
 	Economics []SweepEconomicsResult `json:"economics,omitempty"`
 }
 
-// SweepYield is one scheme's outcome at one config.
+// SweepYield is one scheme's outcome at one config, with the 95%
+// Wilson interval on its yield.
 type SweepYield struct {
 	Scheme string  `json:"scheme"`
 	Yield  float64 `json:"yield"`
 	Lost   int     `json:"lost"`
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
 }
 
 // SweepEconomicsResult prices one scheme at one config under the
@@ -672,6 +678,12 @@ func (s *Server) computeSweep(ctx context.Context, sp sweepParams, c *call) (*Sw
 			resumed++
 		}
 	}
+	// CIs derive from (lost, n) alone, so recomputing here also fills
+	// them on configs resumed from checkpoints written before the CI
+	// fields existed.
+	for i := range results {
+		results[i].fillCIs(plan.Spec.N)
+	}
 
 	elapsed := time.Since(t0).Seconds()
 	obs.H("server_sweep_seconds", obs.ExpBuckets(1e-3, 4, 10)).Observe(elapsed)
@@ -717,6 +729,17 @@ func toSweepConfigResult(ev yieldcache.SweepEval) SweepConfigResult {
 		r.Yields[i] = SweepYield{Scheme: y.Scheme, Yield: y.Yield, Lost: y.Lost}
 	}
 	return r
+}
+
+// fillCIs stamps the config's base and per-scheme yields with their
+// post-hoc 95% Wilson intervals over a population of n chips.
+func (r *SweepConfigResult) fillCIs(n int) {
+	base := wilsonYieldCI(n-r.BaseLost, n)
+	r.BaseCILow, r.BaseCIHigh = base.Low, base.High
+	for i := range r.Yields {
+		ci := wilsonYieldCI(n-r.Yields[i].Lost, n)
+		r.Yields[i].CILow, r.Yields[i].CIHigh = ci.Low, ci.High
+	}
 }
 
 // sweepWireFrontiers reduces wire results to one Pareto frontier per

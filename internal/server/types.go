@@ -32,6 +32,23 @@ type StudyRequest struct {
 	// TimeoutMS bounds the study build in milliseconds (default and cap
 	// set by the server; exceeding the deadline returns 504).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Precision, when present, stops sampling early: the build ends as
+	// soon as the streaming yield interval is at least as tight as the
+	// requested half-width. The response's estimate block records the
+	// decision (early_stop) and the populations are truncated to the
+	// measured prefix.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
+}
+
+// PrecisionSpec is the optional precision target of a study: stop
+// sampling once the Wilson interval on the base yield has half-width
+// at most TargetCIWidth at the given confidence.
+type PrecisionSpec struct {
+	// TargetCIWidth is the half-width the yield interval must reach
+	// before sampling stops (0 < w < 1). Required.
+	TargetCIWidth float64 `json:"target_ci_width"`
+	// Confidence is the interval's confidence level (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // CustomConstraints is a caller-defined yield requirement: the delay
@@ -67,6 +84,74 @@ type StudyResponse struct {
 	// ElapsedMS is the wall time of the build that produced the result
 	// (not of this request, when Cached).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Estimate is the build's final streaming yield estimate: the base
+	// yield with its confidence interval and per-loss-reason error bars
+	// over the chips actually measured.
+	Estimate *EstimateInfo `json:"estimate,omitempty"`
+	// EarlyStop records the provenance of a precision-targeted build
+	// that stopped before measuring the full requested population; the
+	// breakdown tables then cover Estimate.Chips chips.
+	EarlyStop bool `json:"early_stop,omitempty"`
+}
+
+// EstimateInfo is a streaming yield estimate on the wire: the body of
+// GET /v1/jobs/{id}/estimate and the estimate block of a study
+// response.
+type EstimateInfo struct {
+	// Chips is how many chips the estimate covers; Total the requested
+	// population size. Chips < Total while the build runs, and stays
+	// below it when a precision target stopped the build early.
+	Chips int `json:"chips"`
+	Total int `json:"total"`
+	// Confidence is the level of every interval in this estimate.
+	Confidence float64 `json:"confidence"`
+	// Yield is the estimated base sellable fraction with its Wilson
+	// interval [CILow, CIHigh]; HalfWidth is the interval's half-width,
+	// the quantity a precision target compares against.
+	Yield     float64 `json:"yield"`
+	CILow     float64 `json:"ci_low"`
+	CIHigh    float64 `json:"ci_high"`
+	HalfWidth float64 `json:"half_width"`
+	// Lost counts chips failing the provisional limits.
+	Lost int64 `json:"lost"`
+	// MeanLatencyPS and MeanLeakageW are the population means so far,
+	// each with its standard error.
+	MeanLatencyPS   float64 `json:"mean_latency_ps"`
+	StdErrLatencyPS float64 `json:"stderr_latency_ps"`
+	MeanLeakageW    float64 `json:"mean_leakage_w"`
+	StdErrLeakageW  float64 `json:"stderr_leakage_w"`
+	// Reasons are the per-loss-reason error bars in table order.
+	Reasons []ReasonEstimateInfo `json:"reasons"`
+	// EarlyStop reports that a precision target ended the build at
+	// Chips chips.
+	EarlyStop bool `json:"early_stop,omitempty"`
+}
+
+// ReasonEstimateInfo is one loss reason's share of the measured chips
+// with its confidence interval.
+type ReasonEstimateInfo struct {
+	Reason string  `json:"reason"`
+	Lost   int64   `json:"lost"`
+	Share  float64 `json:"share"`
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+}
+
+// JobEstimateResponse is the body of GET /v1/jobs/{id}/estimate: the
+// job's most recent streaming yield estimate.
+type JobEstimateResponse struct {
+	// Job is the job id; State its lifecycle state at read time.
+	Job   string `json:"job"`
+	State string `json:"state"`
+	// Estimate is the latest published snapshot — live while the job
+	// runs, final once it is done.
+	Estimate EstimateInfo `json:"estimate"`
+}
+
+// YieldCI is a Wilson confidence interval on one sellable fraction.
+type YieldCI struct {
+	Low  float64 `json:"ci_low"`
+	High float64 `json:"ci_high"`
 }
 
 // ConstraintsInfo echoes the resolved yield requirement.
@@ -93,6 +178,9 @@ type Breakdown struct {
 	Totals map[string]int `json:"totals"`
 	// Yields maps "base" and each scheme name to the sellable fraction.
 	Yields map[string]float64 `json:"yields"`
+	// YieldCIs maps "base" and each scheme name to the 95% Wilson
+	// interval on its yield, computed from the loss counts over N chips.
+	YieldCIs map[string]YieldCI `json:"yield_cis"`
 }
 
 // BreakdownRow is one loss-reason row of a Breakdown.
@@ -162,6 +250,10 @@ type JobSummary struct {
 	// across resumes.
 	Resumed  bool `json:"resumed,omitempty"`
 	Restarts int  `json:"restarts,omitempty"`
+	// EarlyStop reports that a precision target stopped the build
+	// before the full requested population (ChipsDone < ChipsTotal for
+	// a done job).
+	EarlyStop bool `json:"early_stop,omitempty"`
 }
 
 // JobsResponse is the body of GET /v1/jobs.

@@ -44,6 +44,14 @@ type JobRecord struct {
 	Schemes     []string `json:"schemes"`
 	TimeoutMS   int64    `json:"timeout_ms"`
 
+	// TargetCIWidth and Confidence persist a study's precision target,
+	// so a crash-resumed build keeps stopping early at the same
+	// interval width; zero means no target. EarlyStop records that the
+	// target truncated the build before the full population.
+	TargetCIWidth float64 `json:"target_ci_width,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	EarlyStop     bool    `json:"early_stop,omitempty"`
+
 	// Kind distinguishes job flavours; empty means a study build, "sweep"
 	// a design-space sweep. Spec carries a sweep's canonical resolved
 	// request JSON, enough to replan and resume it after a crash (the

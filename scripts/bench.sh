@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Performance snapshot: runs the headline benchmarks with -benchmem and
 # writes a machine-readable summary (ns/op, B/op, allocs/op, and chips/s
-# where the benchmark reports it) to $BENCH_OUT (default BENCH_pr9.json).
+# where the benchmark reports it) to $BENCH_OUT (default BENCH_pr10.json).
 # After writing it, prints a per-benchmark delta table against the most
 # recent other committed BENCH_*.json so regressions and wins are
 # visible at a glance.
@@ -16,13 +16,13 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3x}"
 MICROTIME="${2:-1s}"
-OUT="${BENCH_OUT:-BENCH_pr9.json}"
+OUT="${BENCH_OUT:-BENCH_pr10.json}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench (benchtime=$BENCHTIME) =="
 go test -run '^$' \
-    -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkPopulationBuildPairCheckpointed|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim|BenchmarkSweepDelta|BenchmarkSweepFullRebuild)$' \
+    -bench '^(BenchmarkPopulationBuild|BenchmarkPopulationBuildPair|BenchmarkPopulationBuildPairCheckpointed|BenchmarkEstimateArmed|BenchmarkMeasure|BenchmarkTable2|BenchmarkTable6|BenchmarkCPUSim|BenchmarkSweepDelta|BenchmarkSweepFullRebuild)$' \
     -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 echo "== event-bus hot-path benchmarks (benchtime=$MICROTIME) =="

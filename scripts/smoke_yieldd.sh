@@ -60,6 +60,9 @@ curl -sf -D "$TMP/headers" -o "$TMP/study.json" \
     -H 'Content-Type: application/json' \
     -d '{"chips": 40, "seed": 2006}' || fail "POST /v1/study failed"
 grep -q '"cached": false' "$TMP/study.json" || fail "fresh study reported cached"
+grep -q '"ci_low"' "$TMP/study.json" || fail "study response has no ci_low interval bound"
+grep -q '"ci_high"' "$TMP/study.json" || fail "study response has no ci_high interval bound"
+grep -q '"estimate"' "$TMP/study.json" || fail "study response has no final estimate block"
 
 JOB="$(tr -d '\r' <"$TMP/headers" | awk 'tolower($1) == "x-job-id:" {print $2}')"
 [ -n "$JOB" ] && echo "job: $JOB" || fail "study response carried no X-Job-Id header"
@@ -78,14 +81,30 @@ grep -q '"name":"queue_wait"' "$TMP/trace.json" || fail "trace has no queue_wait
 
 echo "== sse job stream =="
 # The job has finished, so the stream replays its state and closes on
-# its own: a progress snapshot and the terminal job_completed event.
+# its own: a progress snapshot, the latest yield-estimate snapshot, and
+# the terminal job_completed event.
 curl -sfN -m 10 "$BASE/v1/jobs/$JOB/events" >"$TMP/stream.txt" || fail "GET job events failed"
 grep -q '^event: job_progress$' "$TMP/stream.txt" ||
     fail "job stream has no progress event: $(cat "$TMP/stream.txt")"
+grep -q '^event: job_estimate$' "$TMP/stream.txt" ||
+    fail "job stream has no yield-estimate event: $(cat "$TMP/stream.txt")"
 grep -q '^event: job_completed$' "$TMP/stream.txt" ||
     fail "job stream has no terminal event: $(cat "$TMP/stream.txt")"
 grep -q '"done":40' "$TMP/stream.txt" || fail "stream progress lacks done=40"
+grep -q '"ci_low"' "$TMP/stream.txt" || fail "estimate event lacks ci_low"
 grep -q '"class":"ok"' "$TMP/stream.txt" || fail "terminal event lacks class ok"
+
+echo "== job estimate endpoint =="
+curl -sf "$BASE/v1/jobs/$JOB/estimate" >"$TMP/estimate.json" || fail "GET job estimate failed"
+grep -q '"ci_low"' "$TMP/estimate.json" || fail "estimate endpoint has no ci_low"
+grep -q '"half_width"' "$TMP/estimate.json" || fail "estimate endpoint has no half_width"
+
+echo "== precision-targeted study =="
+curl -sf -X POST "$BASE/v1/study" -H 'Content-Type: application/json' \
+    -d '{"chips": 6000, "seed": 2006, "precision": {"target_ci_width": 0.05}}' \
+    >"$TMP/precision.json" || fail "precision study failed"
+grep -q '"early_stop": true' "$TMP/precision.json" ||
+    fail "precision study did not stop early: $(head -c 400 "$TMP/precision.json")"
 
 echo "== sse firehose =="
 # Tail the live firehose while a second (different-seed) study runs;
@@ -124,6 +143,12 @@ grep -q 'server_requests_total{class="ok"}' "$TMP/metrics.prom" ||
     fail "/metrics missing error-taxonomy request counter"
 grep -q '^runtime_goroutines ' "$TMP/metrics.prom" ||
     fail "/metrics missing flight-recorder runtime gauges"
+grep -q '^build_chips_per_second ' "$TMP/metrics.prom" ||
+    fail "/metrics missing build_chips_per_second EWMA gauge"
+grep -q '^estimate_yield ' "$TMP/metrics.prom" ||
+    fail "/metrics missing estimate_yield gauge"
+grep -q '^estimate_half_width ' "$TMP/metrics.prom" ||
+    fail "/metrics missing estimate_half_width gauge"
 
 echo "== structured logs =="
 grep -q "\"job\":\"$JOB\"" "$TMP/yieldd.log" || fail "no JSON log line carries the job id"

@@ -36,6 +36,17 @@ type (
 	// CheckpointConfig enables periodic build checkpointing and crash
 	// resume on a study build (StudyConfig.Checkpoint).
 	CheckpointConfig = core.CheckpointConfig
+	// EstimateConfig arms streaming yield estimation on a study build
+	// (StudyConfig.Estimate): live Wilson confidence intervals,
+	// per-loss-reason error bars and optional precision-targeted
+	// stopping.
+	EstimateConfig = core.EstimateConfig
+	// YieldEstimate is one streaming snapshot of a build's statistical
+	// state (and, via Study.Estimate, the final one).
+	YieldEstimate = core.YieldEstimate
+	// ReasonEstimate is one loss reason's share with its confidence
+	// interval inside a YieldEstimate.
+	ReasonEstimate = core.ReasonEstimate
 )
 
 // DecodeBuildCheckpoint reads a checkpoint written by
@@ -78,6 +89,14 @@ type StudyConfig struct {
 	// and, via its Resume field, continuation of an interrupted build
 	// from a saved prefix. Nil adds nothing to the build's hot loop.
 	Checkpoint *CheckpointConfig
+	// Estimate arms streaming yield estimation on the build: snapshots
+	// with confidence intervals reach Estimate.Sink while chips are
+	// measured, the final one lands on Study.Estimate, and a positive
+	// TargetCIWidth stops sampling early once the yield interval is
+	// tight enough (the study's populations are then truncated to the
+	// measured prefix). Its Constraints default to the study's. Nil
+	// adds nothing to the build's hot loop.
+	Estimate *EstimateConfig
 }
 
 // Study holds the two cache-organisation populations (regular and
@@ -87,6 +106,11 @@ type Study struct {
 	Horizontal *core.Population
 	Cons       Constraints
 	Limits     Limits
+	// Estimate is the final streaming yield estimate when
+	// StudyConfig.Estimate armed estimation (nil otherwise). Its
+	// EarlyStop field reports whether a precision target truncated the
+	// build; the populations' chip counts reflect any truncation.
+	Estimate *YieldEstimate
 }
 
 // NewStudy builds the Monte Carlo populations and derives the limits
@@ -116,7 +140,17 @@ func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	if cfg.Constraints != nil {
 		cons = *cfg.Constraints
 	}
-	reg, hor, err := core.BuildPopulationPairCtx(ctx, core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, Checkpoint: cfg.Checkpoint})
+	pcfg := core.PopulationConfig{N: cfg.Chips, Seed: cfg.Seed, Checkpoint: cfg.Checkpoint}
+	if cfg.Estimate != nil {
+		// Work on a copy: the estimate classifies against the study's
+		// constraints unless the caller pinned its own.
+		ecfg := *cfg.Estimate
+		if ecfg.Constraints == (Constraints{}) {
+			ecfg.Constraints = cons
+		}
+		pcfg.Estimate = &ecfg
+	}
+	reg, hor, est, err := core.BuildPopulationPairEstimate(ctx, pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +162,7 @@ func NewStudyCtx(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		Horizontal: hor,
 		Cons:       cons,
 		Limits:     lim,
+		Estimate:   est,
 	}, nil
 }
 
